@@ -1,0 +1,60 @@
+"""Figure 4.10 — which cross-group CC suits which conflict pattern.
+
+Paper: SSI wins for read-write cross-group conflicts, runtime pipelining wins
+for medium/high write-write contention (ww-5, ww-10), plain 2PL wins when
+write-write conflicts are rare (ww-1); no single cross-group CC wins
+everywhere.
+"""
+
+from common import measure, print_rows
+from repro.core.config import Configuration, leaf, node
+from repro.workloads.micro import CrossGroupConflictWorkload
+
+CLIENTS = 80
+CROSS_CCS = ("2pl", "ssi", "rp")
+WORKLOADS = {
+    "rw-1": dict(shared_rows=100, read_only_second_group=True),
+    "rw-10": dict(shared_rows=10, read_only_second_group=True),
+    "ww-1": dict(shared_rows=100, read_only_second_group=False),
+    "ww-10": dict(shared_rows=10, read_only_second_group=False),
+}
+
+
+def build_config(cross_cc, read_only):
+    second = leaf("none", "group_b_read") if read_only else leaf("rp", "group_b_update")
+    return Configuration(
+        node(cross_cc, leaf("rp", "group_a_update"), second),
+        name=f"crossgroup-{cross_cc}",
+    )
+
+
+def run_figure():
+    results = {}
+    rows = []
+    for workload_name, params in WORKLOADS.items():
+        row = {"workload": workload_name}
+        for cross_cc in CROSS_CCS:
+            workload = CrossGroupConflictWorkload(**params)
+            config = build_config(cross_cc, params["read_only_second_group"])
+            result = measure(workload, config, clients=CLIENTS, duration=0.6, warmup=0.2)
+            results[(workload_name, cross_cc)] = result
+            row[cross_cc] = f"{result.throughput:.0f}"
+        rows.append(row)
+    print_rows(
+        "Figure 4.10: cross-group CC throughput (txn/s)",
+        rows,
+        ["workload"] + list(CROSS_CCS),
+    )
+    return results
+
+
+def test_fig_4_10(benchmark):
+    results = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    # SSI handles cross-group read-write conflicts best.
+    assert results[("rw-10", "ssi")].throughput > results[("rw-10", "2pl")].throughput
+    # RP handles heavy cross-group write-write contention better than SSI.
+    assert results[("ww-10", "rp")].throughput > results[("ww-10", "ssi")].throughput
+    # No single winner: the ww-10 winner is not the rw-10 winner.
+    ww_winner = max(CROSS_CCS, key=lambda cc: results[("ww-10", cc)].throughput)
+    rw_winner = max(CROSS_CCS, key=lambda cc: results[("rw-10", cc)].throughput)
+    assert ww_winner != rw_winner

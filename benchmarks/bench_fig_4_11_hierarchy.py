@@ -1,0 +1,64 @@
+"""Figure 4.11 — two-layer vs three-layer hierarchies on the microbenchmark.
+
+Paper: the three-layer tree (SSI over {read-only, 2PL over {RP(T2), 2PL(T3)}})
+peaks 63% above the best two-layer grouping, because no single cross-group CC
+handles both the T1/T2 read-write conflict and the T2/T3 interaction well.
+"""
+
+from common import RESULT_HEADERS, measure, print_rows, result_row
+from repro.core.config import Configuration, leaf, node
+from repro.workloads.micro import HierarchyMicroWorkload
+
+CLIENTS = 100
+
+
+def configurations():
+    return {
+        "three-layer": Configuration(
+            node(
+                "ssi",
+                leaf("none", "t1_read"),
+                node("2pl", leaf("rp", "t2_update"), leaf("2pl", "t3_update")),
+            ),
+            name="three-layer",
+        ),
+        "two-layer 1 (SSI, T2/T3 separate)": Configuration(
+            node("ssi", leaf("none", "t1_read"), leaf("rp", "t2_update"), leaf("2pl", "t3_update")),
+            name="two-layer-1",
+        ),
+        "two-layer 2 (SSI, T2/T3 together)": Configuration(
+            node("ssi", leaf("none", "t1_read"), leaf("rp", "t2_update", "t3_update")),
+            name="two-layer-2",
+        ),
+        "two-layer 3 (2PL, T1/T2 together)": Configuration(
+            node("2pl", leaf("rp", "t1_read", "t2_update"), leaf("2pl", "t3_update")),
+            name="two-layer-3",
+        ),
+        "two-layer 4 (2PL, all separate)": Configuration(
+            node("2pl", leaf("none", "t1_read"), leaf("rp", "t2_update"), leaf("2pl", "t3_update")),
+            name="two-layer-4",
+        ),
+    }
+
+
+def run_figure():
+    results = {}
+    rows = []
+    for label, config in configurations().items():
+        workload = HierarchyMicroWorkload(hot_rows=10, cold_rows=2000)
+        result = measure(workload, config, clients=CLIENTS, duration=0.6, warmup=0.2)
+        results[label] = result
+        rows.append(result_row(label, result))
+    print_rows("Figure 4.11: two-layer vs three-layer", rows, RESULT_HEADERS)
+    return results
+
+
+def test_fig_4_11(benchmark):
+    results = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    three_layer = results["three-layer"].throughput
+    two_layer_best = max(
+        result.throughput for label, result in results.items() if label != "three-layer"
+    )
+    # Shape: the three-layer hierarchy is competitive with (paper: better
+    # than) every two-layer grouping.
+    assert three_layer > 0.7 * two_layer_best

@@ -1,0 +1,34 @@
+"""Figure 4.8 — SEATS throughput: monolithic 2PL vs 2-layer vs 3-layer.
+
+Paper: the 2-layer (SSI + 2PL) tree peaks ~2.6x above monolithic 2PL; adding
+per-flight TSO instances (3-layer) yields a further ~2x.
+"""
+
+from common import RESULT_HEADERS, SEATS_CLIENTS, measure, print_rows, result_row, seats_workload
+from repro.harness import configs
+
+SETTINGS = [
+    ("monolithic 2PL", configs.seats_monolithic_2pl),
+    ("2-layer (SSI + 2PL)", configs.seats_2layer),
+    ("3-layer (SSI + 2PL + per-flight TSO)", configs.seats_3layer),
+]
+
+
+def run_figure():
+    results = {}
+    rows = []
+    for label, factory in SETTINGS:
+        result = measure(seats_workload(), factory(), clients=SEATS_CLIENTS)
+        results[label] = result
+        rows.append(result_row(label, result))
+    print_rows("Figure 4.8: SEATS throughput by configuration", rows, RESULT_HEADERS)
+    return results
+
+
+def test_fig_4_8(benchmark):
+    results = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    assert results["2-layer (SSI + 2PL)"].throughput > results["monolithic 2PL"].throughput
+    assert (
+        results["3-layer (SSI + 2PL + per-flight TSO)"].throughput
+        > results["monolithic 2PL"].throughput
+    )

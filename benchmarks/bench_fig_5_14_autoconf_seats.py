@@ -1,0 +1,48 @@
+"""Figures 5.14-5.16 — automatic configuration on SEATS.
+
+Paper: the algorithm separates the reservation transactions from the rest and
+(with partition-by-instance preprocessing) approaches the manually designed
+per-flight TSO configuration.
+"""
+
+from common import print_rows, seats_workload
+from repro.autoconf import AutoConfigurator
+from repro.harness import configs
+from repro.harness.runner import run_benchmark
+
+CLIENTS = 50
+
+
+def run_experiment():
+    workload = seats_workload()
+    manual = run_benchmark(
+        seats_workload(), configs.seats_3layer(), clients=CLIENTS, duration=0.8, warmup=0.3
+    )
+    instance_keys = {
+        name: (lambda args: args.get("f_id"))
+        for name in ("new_reservation", "delete_reservation", "update_reservation")
+    }
+    configurator = AutoConfigurator(
+        workload,
+        clients=CLIENTS,
+        duration=0.6,
+        warmup=0.2,
+        max_iterations=1,
+        instance_keys=instance_keys,
+    )
+    outcome = configurator.run()
+    rows = [
+        {"configuration": "initial (Figure 5.2)", "throughput (txn/s)": f"{outcome.initial_throughput:.0f}"},
+        {"configuration": "automatic (final)", "throughput (txn/s)": f"{outcome.final_throughput:.0f}"},
+        {"configuration": "manual 3-layer (Figure 5.15)", "throughput (txn/s)": f"{manual.throughput:.0f}"},
+    ]
+    print_rows("Figure 5.14: automatic configuration on SEATS", rows,
+               ["configuration", "throughput (txn/s)"])
+    print(outcome.describe())
+    return outcome, manual
+
+
+def test_fig_5_14(benchmark):
+    outcome, manual = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert outcome.final_throughput >= outcome.initial_throughput * 0.9
+    assert outcome.final_throughput > 0.3 * manual.throughput

@@ -1,0 +1,30 @@
+"""Figure 5.17 — overhead of the contention profiler.
+
+Paper: collecting and analysing blocking events costs only a few percent of
+throughput, so the profiler can stay on in production.
+"""
+
+from common import RESULT_HEADERS, TPCC_CLIENTS, measure, print_rows, result_row, tpcc_workload
+from repro.autoconf.profiler import ContentionProfiler
+from repro.harness import configs
+
+
+def run_experiment():
+    results = {}
+    rows = []
+    for label, profiler in (("profiling OFF", None), ("profiling ON", ContentionProfiler())):
+        result = measure(
+            tpcc_workload(),
+            configs.tpcc_tebaldi_3layer(),
+            clients=TPCC_CLIENTS,
+            profiler=profiler,
+        )
+        results[label] = result
+        rows.append(result_row(label, result))
+    print_rows("Figure 5.17: profiler overhead", rows, RESULT_HEADERS)
+    return results
+
+
+def test_fig_5_17(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert results["profiling ON"].throughput > 0.7 * results["profiling OFF"].throughput

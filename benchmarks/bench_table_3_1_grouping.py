@@ -1,0 +1,51 @@
+"""Table 3.1 — impact of grouping new_order and stock_level on throughput.
+
+Paper: same group 3,207 txn/s; separate groups with RP's deadlock-prone
+ordering 158 txn/s; separate groups without deadlocks 3,598 txn/s; separate
+groups with artificially disjoint warehouses 23,834 txn/s.
+"""
+
+from common import (
+    DURATION,
+    RESULT_HEADERS,
+    TPCC_CLIENTS,
+    WARMUP,
+    measure,
+    print_rows,
+    result_row,
+    tpcc_workload,
+)
+from repro.harness import configs
+
+
+SETTINGS = [
+    ("same group (RP)", configs.grouping_same_group, {}),
+    ("separate - deadlock-prone order", configs.grouping_separate, {"deadlock_prone_new_order": True}),
+    ("separate - no deadlock", configs.grouping_separate, {}),
+    ("separate - no conflict (disjoint warehouses)", configs.grouping_separate, {"disjoint_warehouses": True}),
+]
+
+MIX = {"new_order": 0.48, "stock_level": 0.48, "payment": 0.02, "delivery": 0.01, "order_status": 0.01}
+
+
+def run_table():
+    rows = []
+    results = {}
+    for label, config_factory, workload_kwargs in SETTINGS:
+        workload = tpcc_workload(warehouses=4, **workload_kwargs)
+        result = measure(workload, config_factory(), clients=TPCC_CLIENTS, mix=MIX)
+        rows.append(result_row(label, result))
+        results[label] = result
+    print_rows("Table 3.1: impact of grouping on throughput", rows, RESULT_HEADERS)
+    return results
+
+
+def test_table_3_1(benchmark):
+    results = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    # Shape: the deadlock-prone separation is the worst option and the
+    # artificially conflict-free separation is the best one.
+    deadlock = results["separate - deadlock-prone order"].throughput
+    no_conflict = results["separate - no conflict (disjoint warehouses)"].throughput
+    no_deadlock = results["separate - no deadlock"].throughput
+    assert deadlock <= no_deadlock
+    assert no_conflict >= no_deadlock

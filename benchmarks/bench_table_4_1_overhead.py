@@ -1,0 +1,58 @@
+"""Table 4.1 — latency and throughput cost of additional CC layers.
+
+Paper (conflict-free writes): adding a 2PL layer over stand-alone RP costs
++3.3% latency / -21% peak throughput, an SSI layer +9.8% / -25%, and another
+RP layer +36.3% / -40%.
+"""
+
+from common import measure, print_rows
+from repro.core.config import Configuration, leaf, monolithic, node
+from repro.workloads.micro import NoConflictWorkload
+
+LATENCY_CLIENTS = 5
+THROUGHPUT_CLIENTS = 60
+
+
+def configurations():
+    return {
+        "stand-alone RP": monolithic("rp", ("write_only",)),
+        "2PL - RP": Configuration(node("2pl", leaf("rp", "write_only")), name="2pl-rp"),
+        "SSI - RP": Configuration(node("ssi", leaf("rp", "write_only")), name="ssi-rp"),
+        "RP - RP": Configuration(node("rp", leaf("rp", "write_only")), name="rp-rp"),
+    }
+
+
+def run_table():
+    results = {}
+    rows = []
+    for label, config in configurations().items():
+        latency_run = measure(
+            NoConflictWorkload(), config, clients=LATENCY_CLIENTS, duration=0.4, warmup=0.1
+        )
+        throughput_run = measure(
+            NoConflictWorkload(), config, clients=THROUGHPUT_CLIENTS, duration=0.25, warmup=0.1
+        )
+        results[label] = (latency_run, throughput_run)
+        rows.append(
+            {
+                "setting": label,
+                "latency (ms)": f"{latency_run.mean_latency * 1000:.3f}",
+                "throughput (txn/s)": f"{throughput_run.throughput:.0f}",
+            }
+        )
+    print_rows(
+        "Table 4.1: cost of additional CC layers",
+        rows,
+        ["setting", "latency (ms)", "throughput (txn/s)"],
+    )
+    return results
+
+
+def test_table_4_1(benchmark):
+    results = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    baseline_latency = results["stand-alone RP"][0].mean_latency
+    # Every additional layer adds latency; the cheap 2PL layer adds the least
+    # and the RP layer (one extra round-trip per operation) adds the most.
+    assert results["2PL - RP"][0].mean_latency >= baseline_latency * 0.95
+    assert results["RP - RP"][0].mean_latency > results["2PL - RP"][0].mean_latency
+    assert results["SSI - RP"][0].mean_latency >= results["2PL - RP"][0].mean_latency * 0.98

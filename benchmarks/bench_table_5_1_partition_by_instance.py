@@ -1,0 +1,32 @@
+"""Table 5.1 — benefit of partition-by-instance for the SEATS TSO group.
+
+Paper: running one TSO instance per flight removes the spurious commit-order
+dependencies of a single TSO group and significantly raises throughput.
+"""
+
+from common import RESULT_HEADERS, SEATS_CLIENTS, measure, print_rows, result_row, seats_workload
+from repro.harness import configs
+
+
+def run_table():
+    results = {}
+    rows = []
+    for label, per_flight in (
+        ("single TSO group", False),
+        ("per-flight TSO instances", True),
+    ):
+        result = measure(
+            seats_workload(), configs.seats_3layer(per_flight=per_flight), clients=SEATS_CLIENTS
+        )
+        results[label] = result
+        rows.append(result_row(label, result))
+    print_rows("Table 5.1: partition-by-instance on SEATS", rows, RESULT_HEADERS)
+    return results
+
+
+def test_table_5_1(benchmark):
+    results = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    assert (
+        results["per-flight TSO instances"].throughput
+        >= results["single TSO group"].throughput * 0.9
+    )

@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at laptop scale:
+the client counts, run durations and data sizes are much smaller than the
+paper's CloudLab runs, so absolute txn/sec numbers differ; the *shape* (who
+wins, roughly by how much) is what EXPERIMENTS.md tracks.
+"""
+
+from repro.harness.report import format_table
+from repro.harness.runner import run_benchmark
+from repro.workloads.seats import SEATSWorkload
+from repro.workloads.tpcc import TPCCWorkload
+
+# Laptop-scale defaults shared by all benchmarks.
+TPCC_WAREHOUSES = 2
+TPCC_CLIENTS = 60
+SEATS_CLIENTS = 60
+DURATION = 0.8
+WARMUP = 0.3
+
+
+def tpcc_workload(**kwargs):
+    kwargs.setdefault("warehouses", TPCC_WAREHOUSES)
+    return TPCCWorkload(**kwargs)
+
+
+def seats_workload(**kwargs):
+    kwargs.setdefault("flights", 10)
+    return SEATSWorkload(**kwargs)
+
+
+def measure(workload, configuration, clients, duration=DURATION, warmup=WARMUP, **kwargs):
+    """One closed-loop measurement; returns the RunResult."""
+    return run_benchmark(
+        workload, configuration, clients=clients, duration=duration, warmup=warmup, **kwargs
+    )
+
+
+def print_rows(title, rows, headers):
+    print()
+    print(f"=== {title} ===")
+    print(format_table(rows, headers))
+
+
+def result_row(label, result):
+    return {
+        "configuration": label,
+        "throughput (txn/s)": f"{result.throughput:.0f}",
+        "abort rate": f"{result.abort_rate:.1%}",
+        "mean latency (ms)": f"{result.mean_latency * 1000:.2f}",
+    }
+
+
+RESULT_HEADERS = ["configuration", "throughput (txn/s)", "abort rate", "mean latency (ms)"]

@@ -1,0 +1,41 @@
+"""Tebaldi: hierarchical Modular Concurrency Control — reproduction library.
+
+Public entry points:
+
+* :class:`repro.database.Database` — run individual transactions against a
+  workload under any CC-tree configuration.
+* :class:`repro.harness.BenchmarkRunner` — closed-loop benchmark runs over the
+  simulated cluster (the paper's evaluation methodology).
+* :mod:`repro.harness.configs` — the named configurations from the paper
+  (Callas-1/2, Tebaldi 2-/3-layer, SEATS trees, the initial configuration).
+* :class:`repro.autoconf.AutoConfigurator` — the automatic configuration
+  algorithm of Chapter 5.
+"""
+
+from repro.core.config import CCSpec, Configuration, leaf, monolithic, node
+from repro.core.engine import EngineOptions, TebaldiEngine
+from repro.database import Database
+from repro.errors import (
+    ConfigurationError,
+    IsolationViolation,
+    ReproError,
+    TransactionAborted,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CCSpec",
+    "Configuration",
+    "leaf",
+    "node",
+    "monolithic",
+    "EngineOptions",
+    "TebaldiEngine",
+    "Database",
+    "ReproError",
+    "TransactionAborted",
+    "ConfigurationError",
+    "IsolationViolation",
+    "__version__",
+]

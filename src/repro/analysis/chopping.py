@@ -1,0 +1,72 @@
+"""Transaction chopping analysis (SC-graph, Section 2.3.1).
+
+Transaction chopping splits transactions into pieces; the chopping is valid
+only when the SC-graph — sibling (S) edges chaining the pieces of one
+transaction, conflict (C) edges connecting pieces of different transactions
+that may conflict — contains no cycle with both an S and a C edge.
+
+Tebaldi itself uses runtime pipelining rather than chopping, but the analysis
+is part of the MCC toolbox (Callas supported it as an in-group mechanism) and
+the optimizer uses :func:`check_choppable` as one of its CC-specific filters.
+"""
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+
+@dataclass
+class SCGraph:
+    """The sibling/conflict graph over transaction pieces."""
+
+    graph: nx.Graph = field(default_factory=nx.Graph)
+
+    def add_piece(self, txn_name, piece_index, tables):
+        node = (txn_name, piece_index)
+        self.graph.add_node(node, tables=frozenset(tables))
+        return node
+
+    def build_edges(self):
+        """Add S edges between sibling pieces and C edges between conflicting ones."""
+        nodes = list(self.graph.nodes(data=True))
+        for i, (node_a, data_a) in enumerate(nodes):
+            for node_b, data_b in nodes[i + 1:]:
+                if node_a[0] == node_b[0]:
+                    if abs(node_a[1] - node_b[1]) == 1:
+                        self.graph.add_edge(node_a, node_b, kind="S")
+                elif data_a["tables"] & data_b["tables"]:
+                    self.graph.add_edge(node_a, node_b, kind="C")
+
+    def has_sc_cycle(self):
+        """True if some cycle mixes S and C edges (chopping invalid)."""
+        for cycle in nx.cycle_basis(self.graph):
+            kinds = set()
+            for i, node in enumerate(cycle):
+                nxt = cycle[(i + 1) % len(cycle)]
+                kinds.add(self.graph.edges[node, nxt]["kind"])
+            if "S" in kinds and "C" in kinds:
+                return True
+        return False
+
+
+def check_choppable(profiles, pieces_per_transaction=None):
+    """Check whether the given transaction profiles admit a chopping.
+
+    Each profile is chopped into one piece per table access by default (the
+    finest chopping); ``pieces_per_transaction`` can override the piece count.
+    Returns ``(choppable, sc_graph)``.
+    """
+    sc_graph = SCGraph()
+    for profile in profiles:
+        tables = profile.tables()
+        if pieces_per_transaction:
+            pieces = pieces_per_transaction.get(profile.name, len(tables))
+        else:
+            pieces = len(tables)
+        pieces = max(pieces, 1)
+        chunk = max(len(tables) // pieces, 1)
+        for index in range(pieces):
+            chunk_tables = tables[index * chunk:(index + 1) * chunk] or tables[-1:]
+            sc_graph.add_piece(profile.name, index, chunk_tables)
+    sc_graph.build_edges()
+    return not sc_graph.has_sc_cycle(), sc_graph

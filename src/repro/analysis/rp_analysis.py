@@ -1,0 +1,97 @@
+"""Static analysis for runtime pipelining (Section 4.4.2).
+
+RP builds a directed graph of tables whose edges follow the access order of
+the transactions in the group, condenses strongly connected components and
+topologically sorts them: each condensed component becomes one pipeline
+*step*.  Circular table dependencies (e.g. TPC-C ``new_order`` together with
+``stock_level``) merge tables into a single coarse step, which is exactly why
+grouping choices matter so much in the paper's evaluation.
+"""
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import AnalysisError
+
+
+@dataclass
+class RPAnalysis:
+    """Result of the runtime-pipelining static analysis for one group."""
+
+    steps: list = field(default_factory=list)
+    table_to_step: dict = field(default_factory=dict)
+    merged_components: list = field(default_factory=list)
+
+    @property
+    def num_steps(self):
+        return len(self.steps)
+
+    def step_of(self, table):
+        """Pipeline step index of ``table`` (unknown tables map to the last step)."""
+        if table in self.table_to_step:
+            return self.table_to_step[table]
+        return max(len(self.steps) - 1, 0)
+
+    @property
+    def pipeline_efficiency(self):
+        """Fraction of tables that got their own step (1.0 = finest pipeline)."""
+        if not self.table_to_step:
+            return 1.0
+        return self.num_steps / len(self.table_to_step)
+
+    def describe(self):
+        lines = [f"runtime pipeline with {self.num_steps} steps"]
+        for index, tables in enumerate(self.steps):
+            lines.append(f"  step {index}: {', '.join(sorted(tables))}")
+        return "\n".join(lines)
+
+
+def analyze_pipeline(profiles):
+    """Compute the pipeline steps for a group of transaction profiles.
+
+    Parameters
+    ----------
+    profiles:
+        Iterable of :class:`~repro.analysis.profiles.TransactionProfile`.
+
+    Returns
+    -------
+    RPAnalysis
+    """
+    profiles = list(profiles)
+    if not profiles:
+        raise AnalysisError("runtime pipelining needs at least one profile")
+    graph = nx.DiGraph()
+    positions = {}
+    for profile in profiles:
+        for table, position in profile.table_positions().items():
+            graph.add_node(table)
+            positions.setdefault(table, []).append(position)
+        for earlier, later in profile.access_pairs():
+            if earlier != later:
+                graph.add_edge(earlier, later)
+    condensation = nx.condensation(graph)
+
+    def _component_key(component_id):
+        members = condensation.nodes[component_id]["members"]
+        scores = [sum(positions[t]) / len(positions[t]) for t in members]
+        return sum(scores) / len(scores)
+
+    # Topological order with positional tie-breaking: among unordered tables,
+    # prefer the ones transactions access earlier, so that a table touched
+    # only at the tail of some transaction (e.g. TPC-C history) does not land
+    # in the middle of the pipeline and stall dependents needlessly.
+    order = list(nx.lexicographical_topological_sort(condensation, key=_component_key))
+    steps = []
+    merged = []
+    for component_id in order:
+        tables = frozenset(condensation.nodes[component_id]["members"])
+        steps.append(tables)
+        if len(tables) > 1:
+            merged.append(tables)
+    table_to_step = {}
+    for index, tables in enumerate(steps):
+        for table in tables:
+            table_to_step[table] = index
+    return RPAnalysis(steps=steps, table_to_step=table_to_step, merged_components=merged)

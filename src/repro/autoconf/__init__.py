@@ -1,0 +1,32 @@
+"""Automatic configuration of the MCC federation (Chapter 5).
+
+The package contains the four pieces of the iterative configuration
+algorithm of Figure 5.1: the contention profiler (analysis stage), the
+configuration optimizer (optimization stage), CC-specific preprocessing, and
+the reconfiguration/testing machinery, all orchestrated by the controller.
+"""
+
+from repro.autoconf.profiler import BlockingEvent, ContentionProfiler, LatencyProfiler
+from repro.autoconf.optimizer import ConfigurationOptimizer, OptimizationCandidate
+from repro.autoconf.preprocess import apply_preprocessing, partition_by_instance
+from repro.autoconf.controller import (
+    AutoConfigResult,
+    AutoConfigurator,
+    initial_configuration,
+)
+from repro.autoconf.reconfigure import ReconfigurationDriver, ReconfigurationOutcome
+
+__all__ = [
+    "BlockingEvent",
+    "ContentionProfiler",
+    "LatencyProfiler",
+    "ConfigurationOptimizer",
+    "OptimizationCandidate",
+    "apply_preprocessing",
+    "partition_by_instance",
+    "AutoConfigurator",
+    "AutoConfigResult",
+    "initial_configuration",
+    "ReconfigurationDriver",
+    "ReconfigurationOutcome",
+]

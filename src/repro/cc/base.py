@@ -1,0 +1,171 @@
+"""Base class and registry for concurrency-control mechanisms.
+
+A CC mechanism participates in the four-phase execution protocol of
+Section 4.3.1.  Hooks that may need to block (waiting for locks, pipeline
+steps, dependent commits...) are written as generators and driven by the
+engine; hooks that never block are plain methods.  The engine accepts both —
+see :func:`as_coroutine`.
+"""
+
+import inspect
+
+from repro.errors import ConfigurationError
+
+CC_REGISTRY = {}
+
+
+def register_cc(cls):
+    """Class decorator registering a CC mechanism under ``cls.name``."""
+    if not getattr(cls, "name", None):
+        raise ConfigurationError(f"CC class {cls.__name__} has no registry name")
+    CC_REGISTRY[cls.name] = cls
+    return cls
+
+
+def create_cc(name, engine, node, params=None):
+    """Instantiate a registered CC mechanism for a runtime tree node."""
+    try:
+        cls = CC_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown concurrency control {name!r}; known: {sorted(CC_REGISTRY)}"
+        ) from None
+    return cls(engine, node, **(params or {}))
+
+
+def as_coroutine(result):
+    """Normalise a hook result so the engine can always ``yield from`` it."""
+    if inspect.isgenerator(result):
+        return result
+    return iter(())
+
+
+class ConcurrencyControl:
+    """Interface every federated CC mechanism implements.
+
+    Class attributes describe the mechanism to the automatic-configuration
+    optimizer (Section 5.4.1's CC filters):
+
+    * ``handles_contention`` — designed to improve heavily contended groups.
+    * ``efficient_internal`` — can enforce consistent ordering efficiently as
+      an internal (cross-group) node without resorting to batching.
+    * ``requires_profiles`` — needs static transaction profiles (RP, chopping).
+    * ``read_optimized`` — optimised for read-write conflicts (SSI).
+    * ``write_optimized`` — optimised for write-write contention (RP, TSO).
+    """
+
+    name = ""
+    handles_contention = True
+    efficient_internal = True
+    requires_profiles = False
+    read_optimized = False
+    write_optimized = False
+
+    def __init__(self, engine, node):
+        self.engine = engine
+        self.node = node
+
+    # -- helpers shared by mechanisms -----------------------------------------
+
+    @property
+    def env(self):
+        return self.engine.env
+
+    @property
+    def is_leaf(self):
+        return self.node.is_leaf
+
+    def same_child_group(self, txn_a, txn_b):
+        """True if both transactions fall in the same child subtree.
+
+        At a leaf this is always False: a leaf delegates nothing, so every
+        pair of its transactions conflicts normally.
+        """
+        if self.node.is_leaf:
+            return False
+        token_a = txn_a.group_token(self.node.node_id)
+        token_b = txn_b.group_token(self.node.node_id)
+        return token_a is not None and token_a == token_b
+
+    def is_member(self, txn):
+        """True if ``txn`` is regulated by this node (assigned to its subtree)."""
+        return self.node.is_member(txn)
+
+    def subtree_dependencies(self, txn):
+        """Ids of ``txn``'s direct dependencies that belong to this subtree."""
+        deps = set()
+        for dep_id in txn.dependencies:
+            other = self.engine.find_transaction(dep_id)
+            if other is not None and self.node.is_member(other):
+                deps.add(dep_id)
+        return deps
+
+    def state(self, txn, factory=dict):
+        """Per-transaction scratch space private to this CC node."""
+        return txn.state_for(self.node.node_id, factory)
+
+    # -- four-phase protocol hooks ---------------------------------------------
+    # Top-down pass hooks may block (generators); bottom-up hooks are
+    # synchronous except validate/pre_commit which may also block.
+
+    def start(self, txn):
+        """Start phase, top-down: allocate metadata / timestamps / batches."""
+
+    def before_read(self, txn, key):
+        """Execution phase, top-down: constrain (block/abort) a read."""
+
+    def before_update_read(self, txn, key):
+        """Top-down hook for reads declared ``for_update``.
+
+        Lock-based mechanisms override this to take the exclusive lock up
+        front (avoiding upgrade deadlocks in read-modify-write transactions);
+        the default treats it as an ordinary read.
+        """
+        return self.before_read(txn, key)
+
+    def before_write(self, txn, key, value):
+        """Execution phase, top-down: constrain (block/abort) a write."""
+
+    def select_version(self, txn, key):
+        """Execution phase, bottom-up (leaf): propose the candidate version.
+
+        The default proposal is the transaction's own uncommitted write if it
+        wrote the key, otherwise the latest committed version.
+        """
+        own = self.engine.store.own_uncommitted(key, txn.txn_id)
+        if own is not None:
+            return own
+        return self.engine.store.latest_committed(key)
+
+    def amend_read(self, txn, key, candidate):
+        """Execution phase, bottom-up (internal): amend the child's proposal."""
+        return candidate
+
+    def after_write(self, txn, key, version):
+        """Execution phase, bottom-up: observe the installed version."""
+
+    def validate(self, txn):
+        """Validation phase: decide commit/abort and enforce consistent ordering.
+
+        The default behaviour implements the *adoption* strategy: wait until
+        every in-subtree dependency of ``txn`` has finished committing, so the
+        ordering decided by children is respected (nexus-lock release order).
+        """
+        deps = self.subtree_dependencies(txn)
+        if deps:
+            yield from self.engine.wait_for_transactions(txn, deps)
+
+    def pre_commit(self, txn):
+        """Commit phase, before the storage module installs the writes."""
+
+    def finish(self, txn, committed):
+        """Called once after commit or abort: release resources, wake waiters."""
+
+    # -- background services ----------------------------------------------------
+
+    def can_garbage_collect(self, epoch):
+        """Confirm no ongoing/future transaction can be ordered before ``epoch``."""
+        return True
+
+    def describe(self):
+        return f"{self.name}@{self.node.node_id}"

@@ -1,0 +1,232 @@
+"""Lock table with group-aware ("nexus") compatibility and timeout deadlock
+handling.
+
+Used by 2PL (transaction-duration locks) and runtime pipelining (step-duration
+locks).  The *same-group* predicate implements the nexus-lock behaviour of
+Modular Concurrency Control: transactions of the same child subtree never
+conflict at this node — their conflicts are delegated to the child CC.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import TransactionAborted
+from repro.sim.events import Event, any_of
+
+
+SHARED = "S"
+EXCLUSIVE = "X"
+
+
+def _modes_compatible(held, requested):
+    return held == SHARED and requested == SHARED
+
+
+@dataclass
+class _LockRecord:
+    holders: dict = field(default_factory=dict)
+    queue: deque = field(default_factory=deque)
+
+
+@dataclass
+class _WaitRequest:
+    txn: object
+    mode: str
+    event: Event
+
+
+class LockTable:
+    """Per-key lock table with FIFO waiting and timeout-based deadlock relief."""
+
+    def __init__(self, env, same_group=None, timeout=1.0, profiler=None, name="locks",
+                 order_guard=None, deadlock_check=None):
+        self.env = env
+        self.same_group = same_group or (lambda a, b: False)
+        self.timeout = timeout
+        self.profiler = profiler
+        self.name = name
+        # Optional predicate(blocker_id, waiter_id) -> True when the blocker
+        # already (transitively) depends on the waiter, i.e. waiting would
+        # create an ordering cycle and the waiter should abort instead.
+        self.order_guard = order_guard
+        # Optional callable(txn, blocker_id) raising TransactionAborted when
+        # blocking would close a wait-for cycle (fast deadlock resolution).
+        self.deadlock_check = deadlock_check
+        self._locks = {}
+        self._held_by_txn = {}
+        self._waiting_keys = {}
+        self.block_count = 0
+        self.timeout_count = 0
+
+    # -- introspection ------------------------------------------------------
+
+    def holders(self, key):
+        record = self._locks.get(key)
+        return dict(record.holders) if record else {}
+
+    def held_keys(self, txn_id):
+        return set(self._held_by_txn.get(txn_id, ()))
+
+    def waiting(self, key):
+        record = self._locks.get(key)
+        return len(record.queue) if record else 0
+
+    # -- core protocol --------------------------------------------------------
+
+    def _conflicts(self, record, txn, mode):
+        """Transactions whose held locks conflict with ``txn`` requesting ``mode``."""
+        conflicting = []
+        for holder, held_mode in record.holders.items():
+            if holder.txn_id == txn.txn_id:
+                continue
+            if self.same_group(txn, holder):
+                continue
+            if _modes_compatible(held_mode, mode):
+                continue
+            conflicting.append(holder)
+        return conflicting
+
+    def try_acquire(self, txn, key, mode):
+        """Non-blocking acquire; returns True on success."""
+        record = self._locks.setdefault(key, _LockRecord())
+        if record.queue and not self._already_holds(record, txn, mode):
+            return False
+        if self._conflicts(record, txn, mode):
+            return False
+        self._grant(record, txn, key, mode)
+        return True
+
+    def _already_holds(self, record, txn, mode):
+        held = record.holders.get(txn)
+        if held is None:
+            return False
+        return held == EXCLUSIVE or held == mode
+
+    def acquire(self, txn, key, mode):
+        """Coroutine: acquire the lock, blocking FIFO; abort on timeout.
+
+        Conflicting holders are recorded as direct dependencies of ``txn``
+        (the lock orders ``txn`` after them), and every blocking interval is
+        reported to the profiler for contention analysis.
+        """
+        record = self._locks.setdefault(key, _LockRecord())
+        if self._already_holds(record, txn, mode):
+            return
+        conflicting = self._conflicts(record, txn, mode)
+        if not conflicting and not record.queue:
+            self._grant(record, txn, key, mode)
+            return
+        blockers = conflicting or [req.txn for req in record.queue][-1:]
+        blocker = blockers[0] if blockers else None
+        if self.order_guard is not None:
+            for other in blockers:
+                if self.order_guard(other.txn_id, txn.txn_id):
+                    # The holder is already ordered after us somewhere else:
+                    # waiting for it would create an ordering cycle.
+                    if self.profiler is not None:
+                        self.profiler.record_abort(txn, "order-conflict", other)
+                    raise TransactionAborted(txn.txn_id, "order-conflict")
+        request = _WaitRequest(txn=txn, mode=mode, event=Event(self.env, name=f"lock:{key}"))
+        record.queue.append(request)
+        self._waiting_keys.setdefault(txn.txn_id, set()).add(key)
+        self.block_count += 1
+        wait_start = self.env.now
+        # Only conflicting *holders* order this transaction after them; a
+        # queued request ahead of us is a scheduling artefact, not an
+        # ordering decision.
+        for other in conflicting:
+            txn.add_dependency(other.txn_id)
+        if self.deadlock_check is not None and blocker is not None:
+            try:
+                self.deadlock_check(txn, blocker.txn_id)
+            except TransactionAborted:
+                if request in record.queue:
+                    record.queue.remove(request)
+                waiting = self._waiting_keys.get(txn.txn_id)
+                if waiting is not None:
+                    waiting.discard(key)
+                raise
+        timeout_event = self.env.timeout(self.timeout)
+        txn.current_wait = (f"lock:{self.name}", blocker.txn_id if blocker else None)
+        winner_index, _value = yield any_of(self.env, [request.event, timeout_event])
+        txn.current_wait = None
+        waiting = self._waiting_keys.get(txn.txn_id)
+        if waiting is not None:
+            waiting.discard(key)
+            if not waiting:
+                del self._waiting_keys[txn.txn_id]
+        if self.profiler is not None and blocker is not None:
+            table = key[0] if isinstance(key, tuple) else key
+            self.profiler.record_wait(
+                txn, blocker, wait_start, self.env.now, kind=f"lock:{table}"
+            )
+        if winner_index == 1 and not request.event.triggered:
+            # Timed out: give up the request and abort (deadlock relief).
+            if request in record.queue:
+                record.queue.remove(request)
+            self.timeout_count += 1
+            if self.profiler is not None:
+                self.profiler.record_abort(txn, "deadlock-timeout", blocker)
+            raise TransactionAborted(txn.txn_id, "deadlock-timeout")
+
+    def _grant(self, record, txn, key, mode):
+        held = record.holders.get(txn)
+        if held == EXCLUSIVE:
+            mode = EXCLUSIVE
+        record.holders[txn] = EXCLUSIVE if (held == EXCLUSIVE or mode == EXCLUSIVE) else mode
+        self._held_by_txn.setdefault(txn.txn_id, set()).add(key)
+
+    def release_all(self, txn):
+        """Release every lock held by ``txn`` and grant eligible waiters."""
+        keys = self._held_by_txn.pop(txn.txn_id, set())
+        for key in keys:
+            record = self._locks.get(key)
+            if record is None:
+                continue
+            record.holders.pop(txn, None)
+            self._grant_from_queue(record, key)
+            self._drop_if_idle(key, record)
+        return keys
+
+    def release(self, txn, keys):
+        """Release a specific set of keys (used by RP step-commit)."""
+        held = self._held_by_txn.get(txn.txn_id, set())
+        for key in list(keys):
+            if key not in held:
+                continue
+            held.discard(key)
+            record = self._locks.get(key)
+            if record is None:
+                continue
+            record.holders.pop(txn, None)
+            self._grant_from_queue(record, key)
+            self._drop_if_idle(key, record)
+
+    def _drop_if_idle(self, key, record):
+        if not record.holders and not record.queue:
+            self._locks.pop(key, None)
+
+    def cancel_waits(self, txn):
+        """Drop any queued (not yet granted) requests of an aborting txn."""
+        keys = self._waiting_keys.pop(txn.txn_id, ())
+        for key in keys:
+            record = self._locks.get(key)
+            if record is None:
+                continue
+            record.queue = deque(req for req in record.queue if req.txn is not txn)
+            self._drop_if_idle(key, record)
+
+    def _grant_from_queue(self, record, key):
+        # Strict FIFO: grant consecutive head-of-queue requests while they are
+        # compatible with the current holders.
+        while record.queue:
+            request = record.queue[0]
+            if not request.txn.is_active:
+                record.queue.popleft()
+                continue
+            if self._conflicts(record, request.txn, request.mode):
+                return
+            record.queue.popleft()
+            self._grant(record, request.txn, key, request.mode)
+            if not request.event.triggered:
+                request.event.succeed(None)

@@ -1,0 +1,26 @@
+"""The empty concurrency control used for read-only groups.
+
+A group whose transactions never conflict with each other (for example the
+read-only group beneath the root SSI node in the paper's TPC-C and SEATS
+configurations) needs no in-group concurrency control at all: every conflict
+it participates in involves another group and is therefore handled by an
+ancestor.
+"""
+
+from repro.cc.base import ConcurrencyControl, register_cc
+
+
+@register_cc
+class NoOpCC(ConcurrencyControl):
+    """Concurrency control that never blocks, never aborts, never waits."""
+
+    name = "none"
+    handles_contention = False
+    efficient_internal = False
+
+    def validate(self, txn):
+        """Read-only groups have no ordering decisions to defer to."""
+        return None
+
+    def describe(self):
+        return f"none@{self.node.node_id}"

@@ -1,0 +1,223 @@
+"""Runtime pipelining (Section 4.4.2).
+
+RP statically orders the tables touched by its group into pipeline *steps*
+(strongly connected components of the table-access graph, topologically
+sorted).  At runtime a transaction executes step by step; when it moves to a
+new step it *step-commits* the previous one, releasing its step-level locks
+and exposing its writes to the next transaction in the pipeline.  A
+transaction that became dependent on another may only execute step ``i`` once
+that transaction has finished or moved past step ``i`` — this is what turns a
+queue of conflicting writers into a pipeline instead of a serial schedule.
+
+As an internal node, transactions of the same child subtree are allowed to
+share step-level locks and to execute the same step concurrently (delegation);
+conflicts across child subtrees follow the pipeline rules above.
+"""
+
+from repro.analysis.rp_analysis import RPAnalysis, analyze_pipeline
+from repro.cc.base import ConcurrencyControl, register_cc
+from repro.cc.locks import EXCLUSIVE, SHARED, LockTable
+from repro.errors import TransactionAborted
+from repro.sim.resources import Condition
+
+
+@register_cc
+class RuntimePipelining(ConcurrencyControl):
+    """Runtime pipelining over statically derived table steps."""
+
+    name = "rp"
+    handles_contention = True
+    efficient_internal = True
+    requires_profiles = True
+    write_optimized = True
+    extra_operation_rtts = 1  # per-operation coordination round-trip
+
+    def __init__(self, engine, node, steps=None, lock_timeout=None):
+        super().__init__(engine, node)
+        timeout = lock_timeout if lock_timeout is not None else engine.options.lock_timeout
+        self.locks = LockTable(
+            engine.env,
+            same_group=self.same_child_group,
+            timeout=timeout,
+            profiler=engine.profiler,
+            name=f"rp@{node.node_id}",
+            order_guard=engine.depends_transitively,
+            deadlock_check=engine.abort_if_wait_deadlock,
+        )
+        if steps is not None:
+            step_sets = [frozenset(step) for step in steps]
+            table_to_step = {
+                table: index for index, tables in enumerate(step_sets) for table in tables
+            }
+            self.analysis = RPAnalysis(steps=step_sets, table_to_step=table_to_step)
+        else:
+            profiles = engine.profiles_for(sorted(node.subtree_types))
+            self.analysis = analyze_pipeline(profiles)
+        self.progress = Condition(engine.env, name=f"rp-progress@{node.node_id}")
+        self._active = {}
+        self._step_committed = {}
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _step_of_key(self, key):
+        table = key[0] if isinstance(key, tuple) else key
+        return self.analysis.step_of(table)
+
+    def _current_step(self, txn):
+        return self.state(txn).get("step", -1)
+
+    # -- start phase -----------------------------------------------------------------
+
+    def start(self, txn):
+        state = self.state(txn)
+        state["step"] = -1
+        state["step_keys"] = set()
+        self._active[txn.txn_id] = txn
+
+    # -- execution phase -----------------------------------------------------------------
+
+    def before_read(self, txn, key):
+        yield from self._pipelined_access(txn, key, SHARED)
+
+    def before_update_read(self, txn, key):
+        yield from self._pipelined_access(txn, key, EXCLUSIVE)
+
+    def before_write(self, txn, key, value):
+        yield from self._pipelined_access(txn, key, EXCLUSIVE)
+
+    def _pipelined_access(self, txn, key, mode):
+        state = self.state(txn)
+        target = self._step_of_key(key)
+        current = state.get("step", -1)
+        if target > current:
+            self._step_commit(txn, state)
+            state["step"] = target
+            self._signal_advance(txn, state)
+            yield from self._wait_for_pipeline(txn, target)
+        yield from self.locks.acquire(txn, key, mode)
+        state.setdefault("step_keys", set()).add(key)
+
+    def _signal_advance(self, txn, state=None):
+        """Wake transactions waiting for this transaction's pipeline progress."""
+        state = state if state is not None else self.state(txn)
+        event = state.get("advance_event")
+        if event is not None and not event.triggered:
+            event.succeed(None)
+        state["advance_event"] = None
+
+    def _advance_event(self, txn):
+        """The one-shot event triggered at this transaction's next advance."""
+        state = self.state(txn)
+        event = state.get("advance_event")
+        if event is None or event.triggered:
+            event = self.env.event(name=f"rp-advance-{txn.txn_id}")
+            state["advance_event"] = event
+        return event
+
+    def _step_commit(self, txn, state):
+        """Release the previous step's locks and expose its writes."""
+        step_keys = state.get("step_keys", set())
+        for key in step_keys:
+            version = self.engine.store.own_uncommitted(key, txn.txn_id)
+            if version is not None:
+                self._step_committed[key] = version
+        if step_keys:
+            self.locks.release(txn, step_keys)
+        state["step_keys"] = set()
+
+    def _wait_for_pipeline(self, txn, step):
+        # Only dependencies that are still active in this node can gate the
+        # step entry; snapshot them once so re-checks after each progress
+        # notification stay cheap.
+        watched = [
+            (self._active[dep_id], self.same_child_group(txn, self._active[dep_id]))
+            for dep_id in txn.dependencies
+            if dep_id in self._active
+        ]
+        if not watched:
+            return
+
+        def _blockers():
+            blockers = []
+            for other, in_group in watched:
+                if not other.is_active or other.txn_id not in self._active:
+                    continue
+                other_step = self._current_step(other)
+                if in_group:
+                    # In-group dependencies only need to have *started* the step.
+                    if other_step < step:
+                        blockers.append(other)
+                elif other_step <= step:
+                    # Cross-group dependencies must have finished the step.
+                    blockers.append(other)
+            return blockers
+
+        for other, _in_group in watched:
+            if other.is_active and self.engine.depends_transitively(other.txn_id, txn.txn_id):
+                # A pipeline predecessor is already ordered after us: waiting
+                # for it would deadlock, so resolve the inversion by aborting.
+                if self.engine.profiler is not None:
+                    self.engine.profiler.record_abort(txn, "order-conflict", other)
+                raise TransactionAborted(txn.txn_id, "order-conflict")
+        yield from self.engine.wait_for_progress(
+            txn,
+            blockers_fn=_blockers,
+            event_fn=lambda blocker: [
+                self._advance_event(blocker),
+                blocker.finish_event,
+            ],
+            reason="rp-pipeline",
+        )
+
+    # -- read resolution -----------------------------------------------------------------
+
+    def _pipelined_read(self, txn, key, candidate):
+        if candidate is not None and not candidate.committed:
+            writer = self.engine.find_transaction(candidate.writer)
+            if candidate.writer == txn.txn_id or (
+                writer is not None and self.is_member(writer) and writer.is_active
+            ):
+                return candidate
+        step_committed = self._step_committed.get(key)
+        if step_committed is not None:
+            writer = self.engine.find_transaction(step_committed.writer)
+            stale = (
+                step_committed.committed
+                or writer is None
+                or not writer.is_active
+            )
+            if stale:
+                self._step_committed.pop(key, None)
+            else:
+                return step_committed
+        latest = self.engine.store.latest_committed(key)
+        if candidate is not None and candidate.committed:
+            if latest is None or (candidate.commit_seq or 0) >= (latest.commit_seq or 0):
+                return candidate
+        return latest
+
+    def select_version(self, txn, key):
+        candidate = self.engine.store.own_uncommitted(key, txn.txn_id)
+        return self._pipelined_read(txn, key, candidate)
+
+    def amend_read(self, txn, key, candidate):
+        return self._pipelined_read(txn, key, candidate)
+
+    # -- validation & commit ------------------------------------------------------------------
+
+    # validate() inherited: wait for in-subtree dependencies to commit.
+
+    def finish(self, txn, committed):
+        self._active.pop(txn.txn_id, None)
+        state = self.state(txn)
+        state["step"] = self.analysis.num_steps + 1
+        self.locks.cancel_waits(txn)
+        self.locks.release_all(txn)
+        self._signal_advance(txn, state)
+        self.progress.notify_all()
+
+    def can_garbage_collect(self, epoch):
+        return True
+
+    def describe(self):
+        return f"rp@{self.node.node_id} ({self.analysis.num_steps} steps)"

@@ -1,0 +1,239 @@
+"""Serializable snapshot isolation (Section 4.4.3).
+
+Transactions read from a snapshot defined by their start timestamp and become
+visible at their commit timestamp; write-write conflicts abort the later
+updater; serializability is protected by aborting *pivots* — transactions (or
+batches) with both an incoming and an outgoing read-write anti-dependency.
+
+As an internal node of the CC tree SSI must respect consistent ordering: it
+*procrastinates* by batching, i.e. every transaction of the same child group
+admitted into the same batch shares one start timestamp, so their relative
+order stays with the child CC.  When the node has at most one update child
+group (the common "read-only group at the root" configuration, Figure 5.2)
+batching and pivot tracking are unnecessary and are switched off, which is
+the optimisation described at the end of Section 4.4.3.
+"""
+
+from repro.cc.base import ConcurrencyControl, register_cc
+from repro.cc.timestamps import BatchManager
+from repro.errors import TransactionAborted
+
+
+@register_cc
+class SerializableSnapshotIsolation(ConcurrencyControl):
+    """Distributed SSI with batching for consistent ordering."""
+
+    name = "ssi"
+    handles_contention = True
+    efficient_internal = True
+    read_optimized = True
+    extra_start_rtts = 1  # centralized timestamp server
+
+    def __init__(self, engine, node, batching=None, batch_size=16, abort_backoff=0.005):
+        super().__init__(engine, node)
+        self.batch_size = batch_size
+        self.abort_backoff = abort_backoff
+        self.batches = BatchManager(engine.oracle, batch_size=batch_size)
+        self._readers = {}
+        self._in_antidep = set()
+        self._out_antidep = set()
+        self._doomed = set()
+        self._commit_ts = {}
+        self._active_members = set()
+        if batching is None:
+            batching = self._needs_batching()
+        self.batching = batching
+        # Read-only optimisation (end of Section 4.4.3): with at most one
+        # update child group, update transactions never observe read-only
+        # writes, so they keep their child CC's reads untouched and SSI only
+        # provides consistent snapshots to the read-only group.
+        self.read_only_optimization = (not node.is_leaf) and not batching
+
+    def _needs_batching(self):
+        """Batching is needed only with two or more update child groups."""
+        if self.node.is_leaf:
+            return False
+        update_children = 0
+        for child in self.node.children:
+            child_types = child.subtree_types
+            if any(not self.engine.is_read_only_type(t) for t in child_types):
+                update_children += 1
+        return update_children > 1
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _entity(self, txn):
+        """The unit of pivot tracking: the batch when batching, else the txn."""
+        state = self.state(txn)
+        if self.batching and state.get("batch_id") is not None:
+            return ("batch", state["batch_id"])
+        return ("txn", txn.txn_id)
+
+    def _start_ts(self, txn):
+        return self.state(txn).get("start_ts", 0)
+
+    def _delegated(self, txn, other):
+        """Whether a conflict between ``txn`` and ``other`` is the child's job."""
+        if other is None or other.txn_id == txn.txn_id:
+            return True
+        if not self.same_child_group(txn, other):
+            return False
+        if not self.batching:
+            return True
+        return self.state(txn).get("batch_id") == self.state(other).get("batch_id")
+
+    def _writer_commit_ts(self, version):
+        if version.timestamp is not None:
+            return version.timestamp
+        return self._commit_ts.get(version.writer, 0)
+
+    def _mark_antidependency(self, reader, writer):
+        """Record the rw edge reader --> writer and doom detected pivots."""
+        reader_entity = self._entity(reader)
+        writer_entity = self._entity(writer) if writer is not None else None
+        self._out_antidep.add(reader_entity)
+        if writer_entity is not None:
+            self._in_antidep.add(writer_entity)
+            if writer_entity in self._out_antidep:
+                self._doomed.add(writer_entity)
+        if reader_entity in self._in_antidep:
+            self._doomed.add(reader_entity)
+
+    def _abort(self, txn, reason, other=None):
+        if self.engine.profiler is not None:
+            self.engine.profiler.record_abort(txn, reason, other)
+        raise TransactionAborted(txn.txn_id, reason)
+
+    # -- start phase ---------------------------------------------------------------
+
+    def start(self, txn):
+        state = self.state(txn)
+        self._active_members.add(txn.txn_id)
+        if self.batching and not txn.read_only:
+            token = txn.group_token(self.node.node_id) or txn.txn_id
+            batch_id, start_ts = self.batches.admit(token)
+            self.batches.register(batch_id, txn.txn_id)
+            state["batch_id"] = batch_id
+            state["start_ts"] = start_ts
+        else:
+            state["batch_id"] = None
+            state["start_ts"] = self.engine.oracle.next()
+        if txn.start_timestamp is None:
+            txn.start_timestamp = state["start_ts"]
+
+    # -- execution phase ---------------------------------------------------------------
+
+    def before_write(self, txn, key, value):
+        if self.read_only_optimization and not txn.read_only:
+            # Update-group writes are fully regulated by the child CC.
+            return
+        start_ts = self._start_ts(txn)
+        latest = self.engine.store.latest_committed(key)
+        if latest is not None and self._writer_commit_ts(latest) > start_ts:
+            writer = self.engine.find_transaction(latest.writer)
+            if not self._delegated(txn, writer):
+                self._abort(txn, "ssi-ww-conflict", writer)
+        for pending in self.engine.store.uncommitted_versions(key):
+            if pending.writer == txn.txn_id:
+                continue
+            writer = self.engine.find_transaction(pending.writer)
+            if writer is not None and not writer.is_active:
+                continue
+            if not self._delegated(txn, writer):
+                self._abort(txn, "ssi-ww-conflict", writer)
+        # Readers that already missed this write form rw anti-dependencies.
+        for reader_id, (reader, reader_ts) in list(self._readers.get(key, {}).items()):
+            if reader_id == txn.txn_id or not reader.is_active:
+                continue
+            if self._delegated(txn, reader):
+                continue
+            self._mark_antidependency(reader, txn)
+        if self._entity(txn) in self._doomed:
+            self._abort(txn, "ssi-pivot")
+
+    def _snapshot_read(self, txn, key, candidate):
+        """Shared read logic for select_version (leaf) and amend_read (internal)."""
+        if self.read_only_optimization and not txn.read_only:
+            # Update-group reads keep the child CC's choice (MV2PL behaviour).
+            return candidate
+        state = self.state(txn)
+        start_ts = self._start_ts(txn)
+        chosen = None
+        if candidate is not None and not candidate.committed:
+            writer = self.engine.find_transaction(candidate.writer)
+            if candidate.writer == txn.txn_id or self._delegated(txn, writer):
+                chosen = candidate
+        if chosen is None:
+            chosen = self.engine.store.latest_committed_before(key, start_ts, strict=False)
+            if candidate is not None and candidate.committed:
+                writer = self.engine.find_transaction(candidate.writer)
+                visible = self._writer_commit_ts(candidate) <= start_ts or self._delegated(
+                    txn, writer
+                )
+                # A committed write from the same batch / delegated scope is
+                # visible even beyond the snapshot: its ordering relative to
+                # this transaction belongs to the child CC, which proposed it.
+                if visible and (
+                    chosen is None
+                    or (candidate.commit_seq or 0) >= (chosen.commit_seq or 0)
+                ):
+                    chosen = candidate
+        self._readers.setdefault(key, {})[txn.txn_id] = (txn, start_ts)
+        # Anti-dependencies: newer writes this snapshot read is missing.
+        latest = self.engine.store.latest_committed(key)
+        if latest is not None and self._writer_commit_ts(latest) > start_ts:
+            writer = self.engine.find_transaction(latest.writer)
+            if writer is not None and not self._delegated(txn, writer):
+                self._mark_antidependency(txn, writer)
+        for pending in self.engine.store.uncommitted_versions(key):
+            if pending.writer == txn.txn_id:
+                continue
+            writer = self.engine.find_transaction(pending.writer)
+            if writer is None or not writer.is_active:
+                continue
+            if not self._delegated(txn, writer) and pending is not chosen:
+                self._mark_antidependency(txn, writer)
+        state.setdefault("read_keys", set()).add(key)
+        return chosen
+
+    def select_version(self, txn, key):
+        candidate = self.engine.store.own_uncommitted(key, txn.txn_id)
+        return self._snapshot_read(txn, key, candidate)
+
+    def amend_read(self, txn, key, candidate):
+        return self._snapshot_read(txn, key, candidate)
+
+    # -- validation & commit -------------------------------------------------------------
+
+    def validate(self, txn):
+        entity = self._entity(txn)
+        if entity in self._doomed or (
+            entity in self._in_antidep and entity in self._out_antidep
+        ):
+            if not txn.read_only:
+                self._abort(txn, "ssi-pivot")
+        deps = self.subtree_dependencies(txn)
+        if deps:
+            yield from self.engine.wait_for_transactions(txn, deps)
+
+    def pre_commit(self, txn):
+        commit_ts = self.engine.oracle.next()
+        txn.commit_timestamp = commit_ts
+        self._commit_ts[txn.txn_id] = commit_ts
+
+    def finish(self, txn, committed):
+        self._active_members.discard(txn.txn_id)
+        state = self.state(txn)
+        for key in state.get("read_keys", ()):  # prune reader tracking
+            readers = self._readers.get(key)
+            if readers is not None:
+                readers.pop(txn.txn_id, None)
+                if not readers:
+                    self._readers.pop(key, None)
+        batch_id = state.get("batch_id")
+        if batch_id is not None:
+            self.batches.discard(batch_id, txn.txn_id)
+
+    def can_garbage_collect(self, epoch):
+        # Old snapshots may still need superseded versions while members run.
+        return not self._active_members

@@ -1,0 +1,75 @@
+"""Centralized timestamp and batch management.
+
+SSI and TSO order transactions with timestamps handed out by a centralized
+timestamp server (Section 4.6 runs one extra machine for "timestamp assignment
+and batch management").  In the simulation the oracle is a monotonic counter;
+contacting it costs one network round-trip, charged by the engine.
+"""
+
+from itertools import count
+
+
+class TimestampOracle:
+    """Monotonically increasing logical timestamps."""
+
+    def __init__(self, start=1):
+        self._counter = count(start)
+        self._last = start - 1
+
+    def next(self):
+        """Allocate and return the next timestamp."""
+        self._last = next(self._counter)
+        return self._last
+
+    @property
+    def last(self):
+        """The most recently allocated timestamp (0 if none)."""
+        return self._last
+
+
+class BatchManager:
+    """Groups transactions of the same child group into timestamp batches.
+
+    Batching is the paper's *procrastination* strategy (Section 4.2.2): all
+    transactions of a batch share a start timestamp, so their relative order
+    is left to the child CC.  Batches rotate after ``batch_size`` admissions
+    or when :meth:`rotate` is called by a background process.
+    """
+
+    def __init__(self, oracle, batch_size=16):
+        self.oracle = oracle
+        self.batch_size = batch_size
+        self._current = {}
+        self._members = {}
+        self._batch_ids = count(1)
+
+    def admit(self, group_token):
+        """Assign (batch_id, shared timestamp) for a transaction of a group."""
+        entry = self._current.get(group_token)
+        if entry is None or entry["count"] >= self.batch_size:
+            entry = {
+                "batch_id": next(self._batch_ids),
+                "timestamp": self.oracle.next(),
+                "count": 0,
+            }
+            self._current[group_token] = entry
+        entry["count"] += 1
+        batch_id = entry["batch_id"]
+        self._members.setdefault(batch_id, set())
+        return batch_id, entry["timestamp"]
+
+    def register(self, batch_id, txn_id):
+        self._members.setdefault(batch_id, set()).add(txn_id)
+
+    def members(self, batch_id):
+        return self._members.get(batch_id, set())
+
+    def discard(self, batch_id, txn_id):
+        self._members.get(batch_id, set()).discard(txn_id)
+
+    def rotate(self, group_token=None):
+        """Force the next admission (of one group or all) to open a new batch."""
+        if group_token is None:
+            self._current.clear()
+        else:
+            self._current.pop(group_token, None)

@@ -1,0 +1,220 @@
+"""Multiversioned timestamp ordering with promises (Section 4.4.4).
+
+Every transaction receives a timestamp at start time that predetermines its
+position in the serialization order.  A read returns the latest version with
+a smaller timestamp (uncommitted versions included — TSO exposes uncommitted
+writes, pipelining conflicting transactions without SSI's aborts); a write is
+rejected if a reader with a larger timestamp has already missed it.  The
+*promise* optimisation lets transactions declare their write keys at start
+time so that later readers wait for the write instead of forcing the writer
+to abort.
+
+Consistent ordering as an internal node is obtained by batching (transactions
+of the same child group share a timestamp) and by committing transactions in
+timestamp order, which introduces the spurious dependencies that the
+partition-by-instance optimisation removes (Section 5.4.2, Table 5.1).  TSO
+is most efficient as a leaf, as the paper notes.
+"""
+
+from repro.cc.base import ConcurrencyControl, register_cc
+from repro.cc.timestamps import BatchManager
+from repro.errors import TransactionAborted
+from repro.sim.resources import Condition
+
+
+@register_cc
+class TimestampOrdering(ConcurrencyControl):
+    """Multiversioned timestamp ordering with promises and batching."""
+
+    name = "tso"
+    handles_contention = True
+    efficient_internal = False
+    write_optimized = True
+    extra_start_rtts = 1  # centralized timestamp server
+
+    def __init__(self, engine, node, batching=None, batch_size=8, use_promises=True):
+        super().__init__(engine, node)
+        self.batch_size = batch_size
+        self.use_promises = use_promises
+        self.batches = BatchManager(engine.oracle, batch_size=batch_size)
+        self.batching = (not node.is_leaf) if batching is None else batching
+        self._reads = {}
+        self._promises = {}
+        self._active = {}
+        self.progress = Condition(engine.env, name=f"tso@{node.node_id}")
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _ts(self, txn):
+        return self.state(txn).get("ts", 0)
+
+    def _version_ts(self, version):
+        ts = version.metadata.get("tso_ts")
+        if ts is not None:
+            return ts
+        return version.timestamp if version.timestamp is not None else 0
+
+    def _same_batch(self, txn, other):
+        if other is None or other.txn_id == txn.txn_id:
+            return True
+        if not self.batching:
+            return False
+        return self.state(txn).get("batch_id") == self.state(other).get("batch_id")
+
+    def _abort(self, txn, reason, other=None):
+        if self.engine.profiler is not None:
+            self.engine.profiler.record_abort(txn, reason, other)
+        raise TransactionAborted(txn.txn_id, reason)
+
+    # -- start phase -----------------------------------------------------------------
+
+    def start(self, txn):
+        state = self.state(txn)
+        if self.batching:
+            token = txn.group_token(self.node.node_id) or txn.txn_id
+            batch_id, ts = self.batches.admit(token)
+            self.batches.register(batch_id, txn.txn_id)
+            state["batch_id"] = batch_id
+        else:
+            ts = self.engine.oracle.next()
+            state["batch_id"] = None
+        state["ts"] = ts
+        txn.cc_timestamp = ts
+        self._active[txn.txn_id] = txn
+        if self.use_promises:
+            profile = self.engine.profile_of(txn.txn_type)
+            if profile.promise_keys is not None:
+                promised = frozenset(profile.promise_keys(txn.args))
+                txn.promises = promised
+                for key in promised:
+                    self._promises.setdefault(key, set()).add(txn.txn_id)
+
+    # -- execution phase -----------------------------------------------------------------
+
+    def before_read(self, txn, key):
+        """Wait for promised writes by smaller-timestamp transactions."""
+        if not self.use_promises:
+            return
+        my_ts = self._ts(txn)
+
+        def _pending_promisors():
+            pending = []
+            for writer_id in self._promises.get(key, ()):  # promised, not yet written
+                writer = self._active.get(writer_id)
+                if writer is None or writer_id == txn.txn_id:
+                    continue
+                if self._ts(writer) < my_ts:
+                    pending.append(writer)
+            return pending
+
+        if not _pending_promisors():
+            return
+        yield from self.engine.wait_until(
+            txn,
+            predicate=lambda: not _pending_promisors(),
+            condition=self.progress,
+            blocker_fn=lambda: (_pending_promisors() or [None])[0],
+            reason="tso-promise",
+        )
+
+    def before_write(self, txn, key, value):
+        my_ts = self._ts(txn)
+        for reader_id, (reader, reader_ts, read_version_ts) in list(
+            self._reads.get(key, {}).items()
+        ):
+            if reader_id == txn.txn_id or self._same_batch(txn, reader):
+                continue
+            if reader_ts > my_ts and read_version_ts < my_ts:
+                # A later reader already missed this write: abort the writer.
+                self._abort(txn, "tso-write-too-late", reader)
+
+    def _timestamp_read(self, txn, key, candidate):
+        my_ts = self._ts(txn)
+        if candidate is not None and not candidate.committed:
+            if candidate.writer == txn.txn_id or self._same_batch(
+                txn, self.engine.find_transaction(candidate.writer)
+            ):
+                self._record_read(txn, key, self._version_ts(candidate))
+                return candidate
+        best = None
+        best_ts = -1.0
+        for version in reversed(self.engine.store.committed_versions(key)):
+            ts = self._version_ts(version)
+            if ts < my_ts:
+                best, best_ts = version, ts
+                break
+        for version in self.engine.store.uncommitted_versions(key):
+            writer = self.engine.find_transaction(version.writer)
+            if writer is None or not self.is_member(writer):
+                continue
+            ts = self._version_ts(version)
+            if ts < my_ts and ts >= best_ts:
+                best, best_ts = version, ts
+        if best is None:
+            best = candidate
+        self._record_read(txn, key, self._version_ts(best) if best is not None else 0)
+        return best
+
+    def _record_read(self, txn, key, version_ts):
+        self._reads.setdefault(key, {})[txn.txn_id] = (txn, self._ts(txn), version_ts)
+        self.state(txn).setdefault("read_keys", set()).add(key)
+
+    def select_version(self, txn, key):
+        candidate = self.engine.store.own_uncommitted(key, txn.txn_id)
+        return self._timestamp_read(txn, key, candidate)
+
+    def amend_read(self, txn, key, candidate):
+        return self._timestamp_read(txn, key, candidate)
+
+    def after_write(self, txn, key, version):
+        version.metadata["tso_ts"] = self._ts(txn)
+        if key in txn.promises:
+            promisors = self._promises.get(key)
+            if promisors is not None:
+                promisors.discard(txn.txn_id)
+        self.progress.notify_all()
+
+    # -- validation & commit ------------------------------------------------------------------
+
+    def validate(self, txn):
+        my_ts = self._ts(txn)
+
+        def _earlier_active():
+            return [
+                other
+                for other in self._active.values()
+                if other.txn_id != txn.txn_id and self._ts(other) < my_ts
+            ]
+
+        # Commit in timestamp order: wait (targeted) for every earlier
+        # transaction of this TSO instance to finish first.
+        yield from self.engine.wait_for_progress(
+            txn,
+            blockers_fn=_earlier_active,
+            event_fn=lambda blocker: [blocker.finish_event],
+            reason="tso-commit-order",
+        )
+        deps = self.subtree_dependencies(txn)
+        if deps:
+            yield from self.engine.wait_for_transactions(txn, deps)
+
+    def finish(self, txn, committed):
+        self._active.pop(txn.txn_id, None)
+        state = self.state(txn)
+        for key in state.get("read_keys", ()):  # prune read tracking
+            readers = self._reads.get(key)
+            if readers is not None:
+                readers.pop(txn.txn_id, None)
+                if not readers:
+                    self._reads.pop(key, None)
+        for key in txn.promises:
+            promisors = self._promises.get(key)
+            if promisors is not None:
+                promisors.discard(txn.txn_id)
+        batch_id = state.get("batch_id")
+        if batch_id is not None:
+            self.batches.discard(batch_id, txn.txn_id)
+        self.progress.notify_all()
+
+    def can_garbage_collect(self, epoch):
+        return not self._active

@@ -1,0 +1,24 @@
+"""Core of the reproduction: transactions, CC-tree configuration, engine."""
+
+from repro.core.config import CCSpec, Configuration, leaf, monolithic, node
+from repro.core.context import TransactionContext
+from repro.core.engine import EngineOptions, TebaldiEngine
+from repro.core.stats import StatsCollector
+from repro.core.transaction import Transaction, TransactionStatus
+from repro.core.tree import TreeNode, build_tree
+
+__all__ = [
+    "CCSpec",
+    "Configuration",
+    "leaf",
+    "node",
+    "monolithic",
+    "TransactionContext",
+    "EngineOptions",
+    "TebaldiEngine",
+    "StatsCollector",
+    "Transaction",
+    "TransactionStatus",
+    "TreeNode",
+    "build_tree",
+]

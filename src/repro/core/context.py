@@ -1,0 +1,87 @@
+"""The transaction context handed to stored procedures.
+
+Stored procedures are generator functions ``def proc(ctx, **args)`` that use
+``yield from ctx.read(...)`` / ``yield from ctx.write(...)`` for every data
+access, so that the engine can block them (locks, pipeline steps) in virtual
+time.  The context also offers small conveniences (read-modify-write,
+existence checks) used by the TPC-C and SEATS implementations.
+"""
+
+from repro.storage.tables import composite_key
+
+
+class TransactionContext:
+    """Data-access API available inside a stored procedure."""
+
+    def __init__(self, engine, txn):
+        self._engine = engine
+        self._txn = txn
+
+    @property
+    def txn(self):
+        return self._txn
+
+    @property
+    def txn_id(self):
+        return self._txn.txn_id
+
+    @property
+    def now(self):
+        return self._engine.env.now
+
+    def key(self, table, *parts):
+        return composite_key(table, *parts)
+
+    # -- data accesses ------------------------------------------------------
+
+    def read(self, table, *parts, for_update=False):
+        """Read a row; returns the row dict or ``None`` if it does not exist.
+
+        ``for_update=True`` declares that the row will be written later in
+        the transaction, letting lock-based CCs take the exclusive lock up
+        front instead of upgrading (which would invite deadlocks).
+        """
+        key = composite_key(table, *parts)
+        value = yield from self._engine.perform_read(
+            self._txn, key, for_update=for_update
+        )
+        return value
+
+    def write(self, table, *parts, row):
+        """Write (insert or replace) a row."""
+        key = composite_key(table, *parts)
+        yield from self._engine.perform_write(self._txn, key, dict(row))
+        return row
+
+    def update(self, table, *parts, updates):
+        """Read-modify-write convenience: merge ``updates`` into the row."""
+        key = composite_key(table, *parts)
+        current = yield from self._engine.perform_read(self._txn, key, for_update=True)
+        row = dict(current or {})
+        for column, value in updates.items():
+            if callable(value):
+                row[column] = value(row.get(column))
+            else:
+                row[column] = value
+        yield from self._engine.perform_write(self._txn, key, row)
+        return row
+
+    def delete(self, table, *parts):
+        """Delete a row (writes a ``None`` tombstone)."""
+        key = composite_key(table, *parts)
+        yield from self._engine.perform_write(self._txn, key, None)
+
+    def exists(self, table, *parts):
+        value = yield from self.read(table, *parts)
+        return value is not None
+
+    # -- misc ----------------------------------------------------------------
+
+    def abort(self, reason="user-abort"):
+        """Explicitly abort the transaction from application logic."""
+        self._engine.user_abort(self._txn, reason)
+
+    def think(self, duration):
+        """Spend ``duration`` virtual seconds of application compute time."""
+        if duration > 0:
+            yield self._engine.env.timeout(duration)

@@ -1,0 +1,694 @@
+"""The Tebaldi engine: transaction lifecycle over the hierarchical CC tree.
+
+The engine implements the four-phase execution protocol of Section 4.3.1:
+
+* **start** — top-down: every CC on the transaction's path allocates metadata
+  (timestamps, batches); bottom-up dependency reporting is implicit in the
+  shared dependency set.
+* **execution** — per operation, top-down constraining (locks, pipeline
+  steps, snapshot write checks), then bottom-up version selection: the leaf
+  proposes a candidate version and ancestors may amend it (Figure 4.5).
+* **validation** — bottom-up: each CC enforces consistent ordering, typically
+  by waiting for the transaction's in-subtree dependencies to commit.
+* **commit** — chained, uninterrupted: versions become visible atomically and
+  every CC releases its resources.
+
+The engine also hosts the shared services: multi-version storage, timestamp
+oracle, garbage collection, durability and the contention profiler.
+"""
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.cc.base import as_coroutine
+from repro.cc.timestamps import TimestampOracle
+from repro.core.config import Configuration
+from repro.core.context import TransactionContext
+from repro.core.stats import StatsCollector
+from repro.core.transaction import Transaction, TransactionStatus
+from repro.core.tree import build_tree
+from repro.errors import ConfigurationError, TransactionAborted
+from repro.sim.events import any_of
+from repro.sim.network import ClusterModel
+from repro.sim.resources import Condition
+from repro.storage.durability import DurabilityConfig, DurabilityManager
+from repro.storage.gc import GarbageCollector
+from repro.storage.mvstore import MultiVersionStore
+
+
+@dataclass
+class EngineOptions:
+    """Tunables of the engine (virtual-time costs, timeouts, features)."""
+
+    lock_timeout: float = 0.5
+    commit_wait_timeout: float = 1.0
+    retry_backoff: float = 0.005
+    charge_costs: bool = True
+    model_cpu: bool = False
+    cpu_slots: int = 64
+    gc_epoch_length: float = 0.5
+    keep_history: bool = True
+    history_limit: int = 200_000
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
+
+
+class TebaldiEngine:
+    """A single Tebaldi database instance (simulated cluster)."""
+
+    def __init__(
+        self,
+        env,
+        configuration,
+        transaction_types,
+        store=None,
+        options=None,
+        profiler=None,
+        cluster=None,
+    ):
+        if not isinstance(configuration, Configuration):
+            raise ConfigurationError("configuration must be a Configuration instance")
+        self.env = env
+        self.options = options or EngineOptions()
+        self.transaction_types = dict(transaction_types)
+        self._check_configuration(configuration)
+        self.configuration = configuration
+        self.store = store if store is not None else MultiVersionStore()
+        self.cluster = cluster or ClusterModel(env, cpu_slots=self.options.cpu_slots)
+        self.oracle = TimestampOracle()
+        self.profiler = profiler
+        self.stats = StatsCollector(env)
+        self.gc = GarbageCollector(self.store, epoch_length=self.options.gc_epoch_length)
+        self.durability = DurabilityManager(self.options.durability)
+        self.commit_condition = Condition(env, name="commit")
+        self.admission_condition = Condition(env, name="admission")
+
+        self._txn_ids = count(1)
+        self.active = {}
+        self.finished = {}
+        self.committed_ids = set()
+        self.aborted_ids = set()
+        self.committed_history = []
+        self._paused_types = set()
+        self._draining = False
+
+        self.root, self.nodes, self._leaf_by_type = build_tree(self, configuration)
+        self._paths_by_type = {
+            txn_type: leaf.path_from_root()
+            for txn_type, leaf in self._leaf_by_type.items()
+        }
+
+    # -- configuration helpers ------------------------------------------------
+
+    def _check_configuration(self, configuration):
+        missing = configuration.transaction_types - set(self.transaction_types)
+        if missing:
+            raise ConfigurationError(
+                f"configuration references unknown transaction types: {sorted(missing)}"
+            )
+        unassigned = set(self.transaction_types) - configuration.transaction_types
+        if unassigned:
+            raise ConfigurationError(
+                f"transaction types missing from configuration: {sorted(unassigned)}"
+            )
+
+    def profile_of(self, txn_type):
+        return self.transaction_types[txn_type].profile
+
+    def profiles_for(self, txn_types):
+        return [self.profile_of(name) for name in txn_types]
+
+    def is_read_only_type(self, txn_type):
+        return self.transaction_types[txn_type].read_only
+
+    def path_for(self, txn):
+        path = getattr(txn, "path_nodes", None)
+        if path is not None:
+            return path
+        return self._paths_by_type[txn.txn_type]
+
+    def cc_path(self, txn):
+        return [node.cc for node in self.path_for(txn)]
+
+    def find_transaction(self, txn_id):
+        txn = self.active.get(txn_id)
+        if txn is not None:
+            return txn
+        return self.finished.get(txn_id)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def begin(self, txn_type, args=None, client_id=-1):
+        """Create and register a new transaction instance."""
+        if txn_type not in self.transaction_types:
+            raise ConfigurationError(f"unknown transaction type {txn_type!r}")
+        args = dict(args or {})
+        txn = Transaction(
+            txn_id=next(self._txn_ids),
+            txn_type=txn_type,
+            args=args,
+            client_id=client_id,
+            read_only=self.is_read_only_type(txn_type),
+            begin_time=self.env.now,
+        )
+        leaf = self._leaf_by_type[txn_type]
+        txn.leaf_node_id = leaf.node_id
+        if leaf.spec.instance_key is not None:
+            txn.partition_value = leaf.spec.instance_key(args)
+        path = leaf.path_from_root()
+        # Pin the runtime path so that in-flight transactions are unaffected
+        # by online reconfigurations swapping parts of the tree.
+        txn.path_nodes = path
+        for parent, child in zip(path, path[1:]):
+            token = child.node_id
+            if child.spec.instance_key is not None:
+                token = (child.node_id, txn.partition_value)
+            txn.group_tokens[parent.node_id] = token
+        # A leaf with per-instance partitioning also distinguishes its own
+        # partitions, which matters when it is the direct child of the root.
+        txn.group_tokens[leaf.node_id] = (leaf.node_id, txn.partition_value)
+        txn.finish_event = self.env.event(name=f"finish-{txn.txn_id}")
+        self.gc.register_transaction(txn)
+        self.active[txn.txn_id] = txn
+        return txn
+
+    def execute_transaction(self, txn_type, args=None, client_id=-1):
+        """Coroutine: run one transaction attempt end-to-end.
+
+        Returns the committed :class:`Transaction`; raises
+        :class:`TransactionAborted` if the attempt aborts (the caller decides
+        whether to retry).
+        """
+        yield from self._wait_for_admission(txn_type)
+        txn = self.begin(txn_type, args, client_id)
+        try:
+            result = yield from self._run(txn)
+        except TransactionAborted as abort:
+            self._finish_abort(txn, abort.reason)
+            raise
+        txn.result = result
+        return txn
+
+    def _wait_for_admission(self, txn_type):
+        while self._draining or txn_type in self._paused_types:
+            yield from self.admission_condition.wait()
+
+    def _run(self, txn):
+        path = self.cc_path(txn)
+        # Start phase -------------------------------------------------------
+        yield from self._charge_phase(path, extra_rtts=self._extra_start_rtts(path))
+        for cc in path:
+            yield from as_coroutine(cc.start(txn))
+        # Execution phase (driven by the stored procedure) -------------------
+        procedure = self.transaction_types[txn.txn_type].procedure
+        context = TransactionContext(self, txn)
+        result = yield from procedure(context, **txn.args)
+        # Validation phase ----------------------------------------------------
+        txn.status = TransactionStatus.VALIDATING
+        yield from self._charge_phase(path)
+        for cc in reversed(path):
+            yield from as_coroutine(cc.validate(txn))
+        self._check_cascading_abort(txn)
+        # Commit phase ---------------------------------------------------------
+        yield from self._charge_phase(path)
+        for cc in reversed(path):
+            yield from as_coroutine(cc.pre_commit(txn))
+        self._commit(txn)
+        if self.durability.enabled:
+            yield from self._durable_commit(txn)
+        for cc in reversed(path):
+            cc.finish(txn, committed=True)
+        self.commit_condition.notify_all()
+        return result
+
+    def _commit(self, txn):
+        versions = self.store.commit_transaction(txn, timestamp=txn.commit_timestamp)
+        txn.status = TransactionStatus.COMMITTED
+        txn.end_time = self.env.now
+        self.committed_ids.add(txn.txn_id)
+        if not txn.finish_event.triggered:
+            txn.finish_event.succeed(True)
+        self._retire(txn)
+        self.stats.record_commit(txn)
+        if self.options.keep_history:
+            self.committed_history.append(txn)
+            if len(self.committed_history) > self.options.history_limit:
+                del self.committed_history[: self.options.history_limit // 10]
+        self.gc.finish_transaction(txn)
+        return versions
+
+    def _durable_commit(self, txn):
+        writes = [(key, txn.writes[key]) for key in txn.write_order]
+        global_epoch = self.durability.precommit(txn, writes)
+        txn.global_gcp_epoch = global_epoch
+        delay = self.durability.flush_delay()
+        if delay:
+            yield self.env.timeout(delay)
+        self.durability.commit_notification(txn, global_epoch)
+
+    def _finish_abort(self, txn, reason):
+        txn.status = TransactionStatus.ABORTED
+        txn.abort_reason = reason
+        txn.end_time = self.env.now
+        if not txn.finish_event.triggered:
+            txn.finish_event.succeed(False)
+        self.store.abort_transaction(txn)
+        for cc in reversed(self.cc_path(txn)):
+            cc.finish(txn, committed=False)
+        self.aborted_ids.add(txn.txn_id)
+        self._retire(txn)
+        self.stats.record_abort(txn, reason)
+        self.gc.finish_transaction(txn)
+        self.commit_condition.notify_all()
+
+    def _retire(self, txn):
+        self.active.pop(txn.txn_id, None)
+        self.finished[txn.txn_id] = txn
+        if len(self.finished) > self.options.history_limit:
+            # Drop the oldest finished transactions to bound memory.
+            for txn_id in list(self.finished)[: self.options.history_limit // 10]:
+                del self.finished[txn_id]
+
+    def user_abort(self, txn, reason="user-abort"):
+        raise TransactionAborted(txn.txn_id, reason)
+
+    def _check_cascading_abort(self, txn):
+        for dep_id in txn.read_from:
+            if dep_id in self.aborted_ids:
+                raise TransactionAborted(txn.txn_id, "cascading-abort")
+
+    # -- operations ---------------------------------------------------------------
+
+    def perform_read(self, txn, key, for_update=False):
+        """Coroutine implementing one read of the execution phase."""
+        if not txn.is_active:
+            raise TransactionAborted(txn.txn_id, txn.abort_reason or "not-active")
+        path = self.cc_path(txn)
+        yield from self._charge_operation(path)
+        for cc in path:
+            if for_update:
+                yield from as_coroutine(cc.before_update_read(txn, key))
+            else:
+                yield from as_coroutine(cc.before_read(txn, key))
+        # Multi-versioned CCs may treat "read for update" differently (the
+        # subsequent write-write check covers the conflict, so registering an
+        # anti-dependency would double-count it).
+        txn.current_read_for_update = for_update
+        candidate = path[-1].select_version(txn, key)
+        for cc in reversed(path[:-1]):
+            candidate = cc.amend_read(txn, key, candidate)
+        txn.current_read_for_update = False
+        if (
+            candidate is not None
+            and not candidate.committed
+            and candidate.writer != txn.txn_id
+            and self.depends_transitively(candidate.writer, txn.txn_id)
+        ):
+            # Reading this exposed value would order us after a transaction
+            # that is already ordered after us — an ordering cycle.
+            if self.profiler is not None:
+                self.profiler.record_abort(
+                    txn, "order-conflict", self.active.get(candidate.writer)
+                )
+            raise TransactionAborted(txn.txn_id, "order-conflict")
+        txn.record_read(key, candidate, at=self.env.now)
+        if candidate is None:
+            return None
+        if candidate.writer != txn.txn_id and (
+            not candidate.committed or candidate.writer in self.active
+        ):
+            # Only still-active writers matter for ordering waits; committed
+            # writers impose no further constraint on this transaction.
+            txn.add_dependency(candidate.writer, read_from=not candidate.committed)
+        value = candidate.value
+        return dict(value) if isinstance(value, dict) else value
+
+    def perform_write(self, txn, key, value):
+        """Coroutine implementing one write of the execution phase."""
+        if not txn.is_active:
+            raise TransactionAborted(txn.txn_id, txn.abort_reason or "not-active")
+        path = self.cc_path(txn)
+        yield from self._charge_operation(path)
+        for cc in path:
+            yield from as_coroutine(cc.before_write(txn, key, value))
+        # Order this write after existing writers of the key (only active
+        # writers can still constrain ordering decisions).  If an existing
+        # writer is already ordered after this transaction, installing on top
+        # of it would create an ordering cycle — abort instead.
+        latest = self.store.latest_committed(key)
+        if latest is not None and latest.writer in self.active:
+            txn.add_dependency(latest.writer)
+        for pending in self.store.uncommitted_versions(key):
+            if pending.writer == txn.txn_id:
+                continue
+            if self.depends_transitively(pending.writer, txn.txn_id):
+                raise TransactionAborted(txn.txn_id, "order-conflict")
+            txn.add_dependency(pending.writer)
+        version = self.store.install(key, value, txn)
+        txn.record_write(key, value)
+        self.durability.log_operation(txn, key, value)
+        for cc in reversed(path):
+            cc.after_write(txn, key, version)
+        return version
+
+    def wait_would_deadlock(self, txn, blocker_id):
+        """True if blocking on ``blocker_id`` closes a wait-for cycle.
+
+        Uses the ``current_wait`` annotations every wait site maintains, so a
+        cycle is detected the moment its final edge is about to be added and
+        can be broken immediately (by aborting the requester) instead of
+        stalling until a timeout fires.
+        """
+        seen = set()
+        current = blocker_id
+        while current is not None and current not in seen:
+            if current == txn.txn_id:
+                return True
+            seen.add(current)
+            other = self.active.get(current)
+            if other is None or other.current_wait is None:
+                return False
+            current = other.current_wait[1]
+        return False
+
+    def abort_if_wait_deadlock(self, txn, blocker_id, reason="wait-deadlock"):
+        """Raise :class:`TransactionAborted` if waiting would deadlock."""
+        if blocker_id is not None and self.wait_would_deadlock(txn, blocker_id):
+            if self.profiler is not None:
+                self.profiler.record_abort(txn, reason, self.active.get(blocker_id))
+            raise TransactionAborted(txn.txn_id, reason)
+
+    def depends_transitively(self, source_id, target_id):
+        """True if active transaction ``source_id`` is ordered after ``target_id``.
+
+        Walks the dependency sets of active transactions only; used to detect
+        (and break, by aborting) ordering cycles before they can cause
+        unserializable pipelining or wait-for deadlocks.
+        """
+        if source_id == target_id:
+            return True
+        stack = [source_id]
+        seen = set()
+        while stack:
+            current = stack.pop()
+            if current == target_id:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            txn = self.active.get(current)
+            if txn is None:
+                continue
+            stack.extend(txn.dependencies)
+        return False
+
+    # -- waiting helpers ------------------------------------------------------------
+
+    def wait_for_transactions(self, txn, dep_ids, timeout=None):
+        """Coroutine: block until every id in ``dep_ids`` has finished.
+
+        Used by CC validate hooks to enforce consistent ordering (adoption).
+        Aborts the waiting transaction if it read from a dependency that
+        aborted (cascading abort) or if the wait times out (cycle relief).
+        """
+        timeout = timeout if timeout is not None else self.options.commit_wait_timeout
+        timeout_event = None
+        while True:
+            pending = [
+                dep_id
+                for dep_id in dep_ids
+                if dep_id != txn.txn_id and dep_id in self.active
+            ]
+            if not pending:
+                break
+            blocker = self.active.get(pending[0])
+            wait_start = self.env.now
+            if timeout_event is None:
+                timeout_event = self.env.timeout(timeout)
+            elif getattr(timeout_event, "_processed", False):
+                if self.profiler is not None:
+                    self.profiler.record_abort(txn, "commit-order-timeout", blocker)
+                raise TransactionAborted(txn.txn_id, "commit-order-timeout")
+            for dep_id in pending:
+                self.abort_if_wait_deadlock(txn, dep_id)
+            # Wait directly on the blocking transaction's finish event so
+            # that only its dependents wake up when it commits or aborts.
+            txn.current_wait = ("commit-order", blocker.txn_id)
+            yield any_of(self.env, [blocker.finish_event, timeout_event])
+            txn.current_wait = None
+            if self.profiler is not None and blocker is not None:
+                self.profiler.record_wait(
+                    txn, blocker, wait_start, self.env.now, kind="commit-order"
+                )
+        self._check_cascading_abort(txn)
+
+    def wait_for_progress(self, txn, blockers_fn, event_fn, timeout=None, reason="wait"):
+        """Coroutine: wait until ``blockers_fn()`` returns an empty list.
+
+        Unlike :meth:`wait_until`, the wait is *targeted*: the transaction
+        subscribes to events specific to the first blocking transaction
+        (``event_fn(blocker)``), so unrelated progress does not wake it.
+        """
+        timeout = timeout if timeout is not None else self.options.commit_wait_timeout
+        timeout_event = None
+        while True:
+            blockers = blockers_fn()
+            if not blockers:
+                return
+            blocker = blockers[0]
+            wait_start = self.env.now
+            if timeout_event is None:
+                timeout_event = self.env.timeout(timeout)
+            elif getattr(timeout_event, "_processed", False):
+                if self.profiler is not None:
+                    self.profiler.record_abort(txn, f"{reason}-timeout", blocker)
+                raise TransactionAborted(txn.txn_id, f"{reason}-timeout")
+            self.abort_if_wait_deadlock(txn, blocker.txn_id, reason=f"{reason}-deadlock")
+            events = [event for event in event_fn(blocker) if event is not None]
+            txn.current_wait = (reason, blocker.txn_id)
+            yield any_of(self.env, events + [timeout_event])
+            txn.current_wait = None
+            if self.profiler is not None and blocker is not None:
+                self.profiler.record_wait(txn, blocker, wait_start, self.env.now, kind=reason)
+
+    def wait_until(self, txn, predicate, condition, blocker_fn=None, timeout=None, reason="wait"):
+        """Coroutine: wait on ``condition`` until ``predicate()`` is true.
+
+        ``blocker_fn`` (optional) names the transaction currently responsible
+        for the wait so the profiler can attribute the blocking time.
+        """
+        timeout = timeout if timeout is not None else self.options.commit_wait_timeout
+        timeout_event = None
+        while not predicate():
+            blocker = blocker_fn() if blocker_fn is not None else None
+            wait_start = self.env.now
+            if timeout_event is None:
+                timeout_event = self.env.timeout(timeout)
+            elif getattr(timeout_event, "_processed", False):
+                if self.profiler is not None:
+                    self.profiler.record_abort(txn, f"{reason}-timeout", blocker)
+                raise TransactionAborted(txn.txn_id, f"{reason}-timeout")
+            yield any_of(self.env, [condition._event, timeout_event])
+            if self.profiler is not None and blocker is not None:
+                self.profiler.record_wait(txn, blocker, wait_start, self.env.now, kind=reason)
+
+    # -- cost model --------------------------------------------------------------------
+
+    def _charge_operation(self, path):
+        if not self.options.charge_costs:
+            return
+        cost = self.cluster.costs.operation_cost(len(path))
+        rtts = 1 + sum(getattr(cc, "extra_operation_rtts", 0) for cc in path)
+        if self.options.model_cpu:
+            yield from self.cluster.compute(cost)
+            yield from self.cluster.network_delay(rtts)
+        else:
+            # Cheap path: one virtual-time delay per operation.
+            yield self.env.timeout(cost + rtts * self.cluster.network.round_trip())
+
+    def _charge_phase(self, path, extra_rtts=0):
+        if not self.options.charge_costs:
+            return
+        cost = self.cluster.costs.phase_cost(len(path))
+        if self.options.model_cpu:
+            yield from self.cluster.compute(cost)
+            yield from self.cluster.network_delay(1 + extra_rtts)
+        else:
+            yield self.env.timeout(
+                cost + (1 + extra_rtts) * self.cluster.network.round_trip()
+            )
+
+    def _extra_start_rtts(self, path):
+        return sum(getattr(cc, "extra_start_rtts", 0) for cc in path)
+
+    # -- background services --------------------------------------------------------------
+
+    def start_services(self, stop_event=None):
+        """Spawn garbage collection and durability flusher processes."""
+        processes = [
+            self.env.process(
+                self.gc.run(self.env, lambda: [node.cc for node in self.nodes], stop_event),
+                name="gc",
+            )
+        ]
+        if self.durability.enabled and self.durability.config.asynchronous:
+            processes.append(
+                self.env.process(
+                    self.durability.run_flusher(self.env, stop_event), name="gcp-flusher"
+                )
+            )
+        return processes
+
+    # -- reconfiguration (Section 5.5) -------------------------------------------------------
+
+    def reconfigure_partial_restart(self, new_configuration, force_abort_after=None):
+        """Coroutine: the partial-restart protocol.
+
+        Clean-up phase: stop admitting transactions and wait for ongoing ones
+        to finish (optionally force-aborting after a timeout).  Prepare phase:
+        rebuild the CC module with the new configuration (storage untouched).
+        Apply phase: resume admission.
+        """
+        self._draining = True
+        self.gc.pause()
+        deadline = None
+        if force_abort_after is not None:
+            deadline = self.env.now + force_abort_after
+        while self.active:
+            if deadline is not None and self.env.now >= deadline:
+                for txn in list(self.active.values()):
+                    txn.status = TransactionStatus.ABORTED
+                    txn.abort_reason = "forced-reconfiguration"
+                break
+            yield any_of(
+                self.env, [self.commit_condition._event, self.env.timeout(0.01)]
+            )
+        self._swap_configuration(new_configuration)
+        self.gc.resume()
+        self._draining = False
+        self.admission_condition.notify_all()
+
+    def reconfigure_online(self, new_configuration):
+        """Coroutine: the online-update protocol.
+
+        The lowest subtree containing every change is identified; only the
+        transaction types assigned to that subtree are paused and drained,
+        then the runtime subtree is replaced in place.  Every other type
+        keeps executing during the switch, so the throughput dip is much
+        smaller than with the partial restart (Figure 5.19).  If the change
+        reaches the root, the protocol falls back to the partial restart.
+        """
+        change_path = self._lowest_changed_subtree(new_configuration)
+        if change_path is None:
+            # Nothing structural changed; just adopt the new configuration.
+            self.configuration = new_configuration
+            return
+        if not change_path:
+            yield from self.reconfigure_partial_restart(new_configuration)
+            return
+        affected = self._affected_types(new_configuration)
+        self._paused_types |= affected
+        while any(txn.txn_type in affected for txn in self.active.values()):
+            yield any_of(
+                self.env, [self.commit_condition._event, self.env.timeout(0.01)]
+            )
+        self._splice_subtree(new_configuration, change_path)
+        self._paused_types -= affected
+        self.admission_condition.notify_all()
+
+    def _lowest_changed_subtree(self, new_configuration):
+        """Child-index path to the lowest subtree containing all changes.
+
+        Returns ``None`` if the configurations are structurally identical and
+        ``[]`` (the root) when the change cannot be localised below the root.
+        """
+        old_spec, new_spec = self.configuration.root, new_configuration.root
+        if old_spec.signature() == new_spec.signature():
+            return None
+        path = []
+        while True:
+            if (
+                old_spec.cc != new_spec.cc
+                or old_spec.is_leaf
+                or new_spec.is_leaf
+                or len(old_spec.children) != len(new_spec.children)
+            ):
+                return path
+            diffs = [
+                index
+                for index, (old_child, new_child) in enumerate(
+                    zip(old_spec.children, new_spec.children)
+                )
+                if old_child.signature() != new_child.signature()
+            ]
+            if len(diffs) != 1:
+                return path
+            index = diffs[0]
+            path.append(index)
+            old_spec = old_spec.children[index]
+            new_spec = new_spec.children[index]
+
+    def _splice_subtree(self, new_configuration, change_path):
+        """Replace the runtime subtree at ``change_path`` with fresh nodes."""
+        self._check_configuration(new_configuration)
+        old_node = self.root
+        for index in change_path:
+            old_node = old_node.children[index]
+        new_spec = new_configuration.root
+        for index in change_path:
+            new_spec = new_spec.children[index]
+        sub_config = Configuration(new_spec, name=f"{new_configuration.name}-subtree")
+        sub_root, sub_nodes, _sub_leaves = build_tree(self, sub_config)
+        # Renumber the spliced nodes to occupy the replaced position.
+        prefix = old_node.node_id
+        for node in sub_nodes:
+            node.node_id = prefix + node.node_id[1:]
+        sub_root.parent = old_node.parent
+        if old_node.parent is not None:
+            position = old_node.parent.children.index(old_node)
+            old_node.parent.children[position] = sub_root
+        else:
+            self.root = sub_root
+        # Refresh subtree membership up the ancestor chain.
+        ancestor = sub_root.parent
+        while ancestor is not None:
+            ancestor.subtree_types = frozenset(
+                txn_type
+                for child in ancestor.children
+                for txn_type in child.subtree_types
+            )
+            ancestor = ancestor.parent
+        self.configuration = new_configuration
+        self.nodes = list(self.root.iter_subtree())
+        self._leaf_by_type = {}
+        for node in self.nodes:
+            if node.is_leaf:
+                for txn_type in node.spec.transactions:
+                    self._leaf_by_type[txn_type] = node
+        self._paths_by_type = {
+            txn_type: leaf.path_from_root()
+            for txn_type, leaf in self._leaf_by_type.items()
+        }
+
+    def _affected_types(self, new_configuration):
+        """Transaction types whose leaf group or path changes."""
+        affected = set()
+        for txn_type in self.configuration.transaction_types:
+            old_leaf = self.configuration.leaf_for(txn_type)
+            try:
+                new_leaf = new_configuration.leaf_for(txn_type)
+            except ConfigurationError:
+                affected.add(txn_type)
+                continue
+            if old_leaf.signature() != new_leaf.signature():
+                affected.add(txn_type)
+        affected |= new_configuration.transaction_types - self.configuration.transaction_types
+        return affected
+
+    def _swap_configuration(self, new_configuration):
+        self._check_configuration(new_configuration)
+        self.configuration = new_configuration
+        self.root, self.nodes, self._leaf_by_type = build_tree(self, new_configuration)
+        self._paths_by_type = {
+            txn_type: leaf.path_from_root()
+            for txn_type, leaf in self._leaf_by_type.items()
+        }

@@ -1,0 +1,128 @@
+"""The transaction object shared by the engine and every CC mechanism."""
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+
+class TransactionStatus(Enum):
+    """Lifecycle states of a transaction."""
+
+    ACTIVE = "active"
+    VALIDATING = "validating"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class ReadRecord:
+    """One read performed by a transaction: the key and the version observed."""
+
+    key: Any
+    version: Any
+    at: float = 0.0
+
+
+@dataclass
+class Transaction:
+    """Runtime state of one transaction instance.
+
+    The transaction carries both generic state (read/write sets, direct
+    dependency set, status) and per-CC scratch space (``cc_state``), so that
+    CC mechanisms along the tree path can keep their metadata without being
+    aware of each other — mirroring the paper's separation between the
+    framework and individual CC protocols.
+    """
+
+    txn_id: int
+    txn_type: str
+    args: dict = field(default_factory=dict)
+    client_id: int = -1
+    status: TransactionStatus = TransactionStatus.ACTIVE
+    read_only: bool = False
+
+    # Routing through the CC tree.
+    leaf_node_id: str = ""
+    group_tokens: dict = field(default_factory=dict)
+    partition_value: Any = None
+
+    # Data accesses.
+    reads: list = field(default_factory=list)
+    writes: dict = field(default_factory=dict)
+    write_order: list = field(default_factory=list)
+
+    # Direct dependencies (txn ids this transaction must be ordered after).
+    dependencies: set = field(default_factory=set)
+    read_from: set = field(default_factory=set)
+
+    # CC-specific metadata.
+    cc_state: dict = field(default_factory=dict)
+    cc_timestamp: Optional[int] = None
+    start_timestamp: Optional[int] = None
+    commit_timestamp: Optional[int] = None
+    batch_id: Optional[int] = None
+    promises: frozenset = frozenset()
+
+    # Durability / garbage collection.
+    gc_epoch: int = 0
+    global_gcp_epoch: int = 0
+
+    # Set by the engine at begin time: a one-shot event triggered when the
+    # transaction commits or aborts (used for targeted dependency waits).
+    finish_event: Any = None
+    # Diagnostic: what the transaction is currently blocked on, as a
+    # (reason, blocking transaction id) pair, or None when running.
+    current_wait: Any = None
+
+    # Timing (virtual seconds).
+    begin_time: float = 0.0
+    end_time: float = 0.0
+    abort_reason: str = ""
+    retries: int = 0
+
+    @property
+    def is_active(self):
+        return self.status in (TransactionStatus.ACTIVE, TransactionStatus.VALIDATING)
+
+    @property
+    def committed(self):
+        return self.status is TransactionStatus.COMMITTED
+
+    @property
+    def aborted(self):
+        return self.status is TransactionStatus.ABORTED
+
+    def state_for(self, node_id, factory=dict):
+        """Per-CC-node scratch space (created on first access)."""
+        if node_id not in self.cc_state:
+            self.cc_state[node_id] = factory()
+        return self.cc_state[node_id]
+
+    def add_dependency(self, other_txn_id, read_from=False):
+        """Record that this transaction directly depends on ``other_txn_id``."""
+        if other_txn_id == self.txn_id or other_txn_id == 0:
+            return
+        self.dependencies.add(other_txn_id)
+        if read_from:
+            self.read_from.add(other_txn_id)
+
+    def record_read(self, key, version, at=0.0):
+        self.reads.append(ReadRecord(key=key, version=version, at=at))
+
+    def record_write(self, key, value):
+        if key not in self.writes:
+            self.write_order.append(key)
+        self.writes[key] = value
+
+    def group_token(self, node_id):
+        """The child-subtree token of this transaction beneath ``node_id``."""
+        return self.group_tokens.get(node_id)
+
+    def __hash__(self):
+        return hash(self.txn_id)
+
+    def __repr__(self):
+        return (
+            f"<Txn {self.txn_id} {self.txn_type} {self.status.value}"
+            f" leaf={self.leaf_node_id}>"
+        )

@@ -1,0 +1,176 @@
+"""Runtime CC tree: compiled form of a :class:`~repro.core.config.Configuration`.
+
+Each :class:`TreeNode` owns one CC mechanism instance (or a
+:class:`PartitionedCC` family for partition-by-instance leaves) and knows the
+transaction types of its subtree, which is how membership and child-group
+tokens are resolved.
+"""
+
+from repro.cc.base import create_cc
+from repro.errors import ConfigurationError
+
+
+class TreeNode:
+    """One runtime node of the compiled CC tree."""
+
+    def __init__(self, spec, node_id, parent=None):
+        self.spec = spec
+        self.node_id = node_id
+        self.parent = parent
+        self.children = []
+        self.cc = None
+        self.subtree_types = frozenset(spec.all_transactions())
+
+    @property
+    def is_leaf(self):
+        return not self.children
+
+    @property
+    def is_root(self):
+        return self.parent is None
+
+    def is_member(self, txn):
+        """Whether ``txn`` is assigned to this subtree."""
+        return txn.txn_type in self.subtree_types
+
+    def path_from_root(self):
+        path = []
+        node = self
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        path.reverse()
+        return path
+
+    def iter_subtree(self):
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def describe(self):
+        label = self.spec.label or self.spec.cc.upper()
+        return f"{label}@{self.node_id}"
+
+    def __repr__(self):
+        return f"<TreeNode {self.describe()} leaf={self.is_leaf}>"
+
+
+class PartitionedCC:
+    """Partition-by-instance wrapper: one CC instance per partition value.
+
+    The wrapper exposes the full CC interface and routes every call to the
+    per-partition instance selected by ``txn.partition_value`` (computed at
+    begin time from the leaf spec's ``instance_key``).  Each instance keeps
+    its own metadata (lock tables, timestamp ordering, batches), which is the
+    whole point of the optimization (Section 5.4.2, Table 5.1).
+    """
+
+    def __init__(self, engine, node, factory):
+        self.engine = engine
+        self.node = node
+        self._factory = factory
+        self._instances = {}
+        self._sample = None
+
+    @property
+    def name(self):
+        return f"partitioned-{self.node.spec.cc}"
+
+    def instance_for(self, txn):
+        value = txn.partition_value
+        if value not in self._instances:
+            self._instances[value] = self._factory()
+        return self._instances[value]
+
+    def instances(self):
+        return list(self._instances.values())
+
+    # The four-phase interface simply dispatches on the partition value.
+
+    def start(self, txn):
+        return self.instance_for(txn).start(txn)
+
+    def before_read(self, txn, key):
+        return self.instance_for(txn).before_read(txn, key)
+
+    def before_update_read(self, txn, key):
+        return self.instance_for(txn).before_update_read(txn, key)
+
+    def before_write(self, txn, key, value):
+        return self.instance_for(txn).before_write(txn, key, value)
+
+    def select_version(self, txn, key):
+        return self.instance_for(txn).select_version(txn, key)
+
+    def amend_read(self, txn, key, candidate):
+        return self.instance_for(txn).amend_read(txn, key, candidate)
+
+    def after_write(self, txn, key, version):
+        return self.instance_for(txn).after_write(txn, key, version)
+
+    def validate(self, txn):
+        return self.instance_for(txn).validate(txn)
+
+    def pre_commit(self, txn):
+        return self.instance_for(txn).pre_commit(txn)
+
+    def finish(self, txn, committed):
+        return self.instance_for(txn).finish(txn, committed)
+
+    def can_garbage_collect(self, epoch):
+        return all(cc.can_garbage_collect(epoch) for cc in self._instances.values())
+
+    def describe(self):
+        return f"{self.name}@{self.node.node_id} ({len(self._instances)} instances)"
+
+    def _sample_instance(self):
+        """A representative instance used only for static attributes."""
+        if self._instances:
+            return next(iter(self._instances.values()))
+        if self._sample is None:
+            self._sample = self._factory()
+        return self._sample
+
+    @property
+    def extra_operation_rtts(self):
+        return getattr(self._sample_instance(), "extra_operation_rtts", 0)
+
+    @property
+    def extra_start_rtts(self):
+        return getattr(self._sample_instance(), "extra_start_rtts", 0)
+
+
+def build_tree(engine, configuration):
+    """Compile a configuration into runtime nodes with CC instances."""
+    nodes = []
+
+    def _build(spec, node_id, parent):
+        node = TreeNode(spec, node_id, parent)
+        nodes.append(node)
+        for index, child_spec in enumerate(spec.children):
+            child = _build(child_spec, f"{node_id}.{index}", node)
+            node.children.append(child)
+        return node
+
+    root = _build(configuration.root, "0", None)
+    for node in nodes:
+        if node.spec.instance_key is not None:
+            if not node.is_leaf:
+                raise ConfigurationError(
+                    "partition-by-instance is only supported on leaf groups"
+                )
+            node.cc = PartitionedCC(
+                engine,
+                node,
+                factory=lambda n=node: create_cc(
+                    n.spec.cc, engine, n, params=n.spec.params
+                ),
+            )
+        else:
+            node.cc = create_cc(node.spec.cc, engine, node, params=node.spec.params)
+    leaf_by_type = {}
+    for node in nodes:
+        if node.is_leaf:
+            for txn_type in node.spec.transactions:
+                leaf_by_type[txn_type] = node
+    return root, nodes, leaf_by_type

@@ -1,0 +1,48 @@
+"""Exception hierarchy shared across the Tebaldi reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class TransactionAborted(ReproError):
+    """Raised inside a transaction coroutine when the engine aborts it.
+
+    The client harness catches this exception, optionally backs off and
+    retries the transaction.  ``reason`` is a short machine-readable tag used
+    by the statistics module (e.g. ``"ww-conflict"``, ``"deadlock-timeout"``,
+    ``"pivot"``).
+    """
+
+    def __init__(self, txn_id, reason=""):
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class ConfigurationError(ReproError):
+    """Raised when a CC-tree configuration is malformed or unsupported."""
+
+
+class StorageError(ReproError):
+    """Raised on invalid storage-module operations."""
+
+
+class RecoveryError(ReproError):
+    """Raised when the recovery protocol encounters inconsistent logs."""
+
+
+class SimulationError(ReproError):
+    """Raised on misuse of the discrete-event simulation kernel."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a static-analysis precondition is violated."""
+
+
+class IsolationViolation(ReproError):
+    """Raised by the isolation checker when a committed history is invalid."""
+
+
+class ReconfigurationError(ReproError):
+    """Raised when an online reconfiguration cannot be applied."""

@@ -1,0 +1,14 @@
+"""Benchmark harness: closed-loop clients, parameter sweeps, reporting."""
+
+from repro.harness.runner import BenchmarkRunner, RunResult
+from repro.harness.sweep import client_sweep, peak_throughput
+from repro.harness.report import format_table, format_series
+
+__all__ = [
+    "BenchmarkRunner",
+    "RunResult",
+    "client_sweep",
+    "peak_throughput",
+    "format_table",
+    "format_series",
+]

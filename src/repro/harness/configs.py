@@ -1,0 +1,246 @@
+"""The CC-tree configurations used in the paper's evaluation.
+
+TPC-C (Figure 4.6): two monolithic baselines, the two Callas groupings, and
+Tebaldi's two- and three-layer hierarchies.  The extensibility experiment
+(Section 4.6.3) adds the four-layer tree with ``hot_item``.  SEATS
+(Section 4.6.2, Figure 4.8) uses a monolithic 2PL baseline, a two-layer
+SSI+2PL tree and the three-layer tree with per-flight TSO instances.
+"""
+
+from repro.core.config import Configuration, leaf, monolithic, node
+
+TPCC_TRANSACTIONS = ("new_order", "payment", "delivery", "order_status", "stock_level")
+SEATS_UPDATES = (
+    "new_reservation",
+    "delete_reservation",
+    "update_reservation",
+    "update_customer",
+)
+SEATS_READS = ("find_flights", "find_open_seats")
+
+
+# ---------------------------------------------------------------------------
+# TPC-C configurations (Figure 4.6)
+# ---------------------------------------------------------------------------
+
+def tpcc_monolithic_2pl(transactions=TPCC_TRANSACTIONS):
+    """Monolithic two-phase locking baseline."""
+    return monolithic("2pl", transactions, name="tpcc-2pl")
+
+
+def tpcc_monolithic_ssi(transactions=TPCC_TRANSACTIONS):
+    """Monolithic serializable snapshot isolation baseline."""
+    return monolithic("ssi", transactions, name="tpcc-ssi")
+
+
+def tpcc_callas_1():
+    """Callas-1 (Figure 4.6a): 2PL cross-group over three groups."""
+    return Configuration(
+        node(
+            "2pl",
+            leaf("rp", "new_order", "payment", label="RP(NO,PAY)"),
+            leaf("rp", "delivery", label="RP(DEL)"),
+            leaf("none", "order_status", "stock_level", label="ReadOnly"),
+            label="Callas-1",
+        ),
+        name="callas-1",
+    )
+
+
+def tpcc_callas_2():
+    """Callas-2 (Figure 4.6b): stock_level moved into the RP group."""
+    return Configuration(
+        node(
+            "2pl",
+            leaf("rp", "new_order", "payment", "stock_level", label="RP(NO,PAY,SL)"),
+            leaf("rp", "delivery", label="RP(DEL)"),
+            leaf("none", "order_status", label="ReadOnly"),
+            label="Callas-2",
+        ),
+        name="callas-2",
+    )
+
+
+def tpcc_tebaldi_2layer():
+    """Tebaldi 2-layer (Figure 4.6c): SSI cross-group, RP update group."""
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", "order_status", "stock_level", label="ReadOnly"),
+            leaf("rp", "new_order", "payment", "delivery", label="RP(NO,PAY,DEL)"),
+            label="Tebaldi-2layer",
+        ),
+        name="tebaldi-2layer",
+    )
+
+
+def tpcc_tebaldi_3layer():
+    """Tebaldi 3-layer (Figure 4.6d): SSI over {read-only, 2PL over {RP, RP}}."""
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", "order_status", "stock_level", label="ReadOnly"),
+            node(
+                "2pl",
+                leaf("rp", "new_order", "payment", label="RP(NO,PAY)"),
+                leaf("rp", "delivery", label="RP(DEL)"),
+                label="Updates",
+            ),
+            label="Tebaldi-3layer",
+        ),
+        name="tebaldi-3layer",
+    )
+
+
+def tpcc_hot_item_3layer():
+    """Extensibility baseline: hot_item joins the new_order/payment RP group."""
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", "order_status", "stock_level", label="ReadOnly"),
+            node(
+                "2pl",
+                leaf("rp", "new_order", "payment", "hot_item", label="RP(NO,PAY,HOT)"),
+                leaf("rp", "delivery", label="RP(DEL)"),
+                label="Updates",
+            ),
+            label="HotItem-3layer",
+        ),
+        name="hot-item-3layer",
+    )
+
+
+def tpcc_hot_item_4layer():
+    """Extensibility solution: hot_item in its own group under a cross-group RP."""
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", "order_status", "stock_level", label="ReadOnly"),
+            node(
+                "2pl",
+                node(
+                    "rp",
+                    leaf("rp", "new_order", "payment", label="RP(NO,PAY)"),
+                    leaf("2pl", "hot_item", label="2PL(HOT)"),
+                    label="RP cross-group",
+                ),
+                leaf("rp", "delivery", label="RP(DEL)"),
+                label="Updates",
+            ),
+            label="HotItem-4layer",
+        ),
+        name="hot-item-4layer",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 3.1: grouping of new_order and stock_level only
+# ---------------------------------------------------------------------------
+
+def grouping_same_group():
+    """new_order and stock_level pipelined in one RP group."""
+    return Configuration(
+        node(
+            "2pl",
+            leaf("rp", "new_order", "stock_level", label="RP(NO,SL)"),
+            leaf("2pl", "payment", "delivery", "order_status", label="rest"),
+        ),
+        name="grouping-same-group",
+    )
+
+
+def grouping_separate():
+    """new_order and stock_level in separate groups under cross-group 2PL."""
+    return Configuration(
+        node(
+            "2pl",
+            leaf("rp", "new_order", label="RP(NO)"),
+            leaf("none", "stock_level", label="SL"),
+            leaf("2pl", "payment", "delivery", "order_status", label="rest"),
+        ),
+        name="grouping-separate",
+    )
+
+
+# ---------------------------------------------------------------------------
+# SEATS configurations (Figure 4.8 / 5.15)
+# ---------------------------------------------------------------------------
+
+def seats_monolithic_2pl():
+    return monolithic("2pl", SEATS_UPDATES + SEATS_READS, name="seats-2pl")
+
+
+def seats_2layer():
+    """SSI separating read-only transactions from a 2PL update group."""
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", *SEATS_READS, label="ReadOnly"),
+            leaf("2pl", *SEATS_UPDATES, label="2PL updates"),
+            label="SEATS-2layer",
+        ),
+        name="seats-2layer",
+    )
+
+
+def seats_3layer(per_flight=True):
+    """SSI over {read-only, 2PL over per-flight TSO reservation groups}."""
+    instance_key = (lambda args: args.get("f_id")) if per_flight else None
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", *SEATS_READS, label="ReadOnly"),
+            node(
+                "2pl",
+                leaf(
+                    "tso",
+                    "new_reservation",
+                    "delete_reservation",
+                    "update_reservation",
+                    label="TSO per flight" if per_flight else "TSO",
+                    instance_key=instance_key,
+                ),
+                leaf("2pl", "update_customer", label="2PL(UC)"),
+                label="Updates",
+            ),
+            label="SEATS-3layer",
+        ),
+        name="seats-3layer" + ("" if per_flight else "-no-partition"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Chapter 5: initial configuration (Figure 5.2) and manual references
+# ---------------------------------------------------------------------------
+
+def initial_configuration(transaction_types, read_only_types):
+    """The automatic-configuration starting point (Figure 5.2).
+
+    SSI at the root separating a read-only group (no CC) from a single 2PL
+    group holding every update transaction — effectively MV2PL.
+    """
+    read_only = tuple(sorted(t for t in transaction_types if t in read_only_types))
+    updates = tuple(sorted(t for t in transaction_types if t not in read_only_types))
+    children = []
+    if read_only:
+        children.append(leaf("none", *read_only, label="ReadOnly"))
+    children.append(leaf("2pl", *updates, label="2PL updates"))
+    if not read_only:
+        return Configuration(children[0], name="initial")
+    return Configuration(node("ssi", *children, label="Initial"), name="initial")
+
+
+TPCC_CONFIGURATIONS = {
+    "2pl": tpcc_monolithic_2pl,
+    "ssi": tpcc_monolithic_ssi,
+    "callas-1": tpcc_callas_1,
+    "callas-2": tpcc_callas_2,
+    "tebaldi-2layer": tpcc_tebaldi_2layer,
+    "tebaldi-3layer": tpcc_tebaldi_3layer,
+}
+
+SEATS_CONFIGURATIONS = {
+    "2pl": seats_monolithic_2pl,
+    "2layer": seats_2layer,
+    "3layer": seats_3layer,
+}

@@ -1,0 +1,48 @@
+"""Plain-text reporting helpers for examples and benchmark harnesses."""
+
+
+def format_table(rows, headers):
+    """Format a list of row dicts (or sequences) as an aligned text table."""
+    if rows and isinstance(rows[0], dict):
+        table = [[str(row.get(header, "")) for header in headers] for row in rows]
+    else:
+        table = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in table:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(len(headers))),
+    ]
+    for row in table:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(series, label="clients", value="throughput"):
+    """Format an (x, y) series as a two-column table."""
+    rows = [(x, f"{y:.1f}") for x, y in series]
+    return format_table(rows, headers=[label, value])
+
+
+def format_run_results(results):
+    """Format a list of :class:`~repro.harness.runner.RunResult` objects."""
+    rows = [
+        {
+            "configuration": result.configuration,
+            "clients": result.clients,
+            "throughput (txn/s)": f"{result.throughput:.1f}",
+            "abort rate": f"{result.abort_rate:.1%}",
+            "mean latency (ms)": f"{result.mean_latency * 1000:.2f}",
+        }
+        for result in results
+    ]
+    headers = [
+        "configuration",
+        "clients",
+        "throughput (txn/s)",
+        "abort rate",
+        "mean latency (ms)",
+    ]
+    return format_table(rows, headers)

@@ -1,0 +1,155 @@
+"""Closed-loop benchmark runner over the simulated cluster.
+
+The runner mirrors the paper's experimental setup (Section 4.6): a fixed
+number of closed-loop clients issue transactions drawn from the workload mix,
+aborted transactions back off and retry, and throughput is measured after a
+warm-up period.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import EngineOptions, TebaldiEngine
+from repro.errors import TransactionAborted
+from repro.sim.environment import Environment
+from repro.storage.mvstore import MultiVersionStore
+
+
+@dataclass
+class RunResult:
+    """Outcome of one benchmark run."""
+
+    configuration: str
+    clients: int
+    duration: float
+    throughput: float
+    abort_rate: float
+    mean_latency: float
+    commits: int
+    aborts: int
+    per_type: dict = field(default_factory=dict)
+    abort_reasons: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    def __repr__(self):
+        return (
+            f"<RunResult {self.configuration} clients={self.clients} "
+            f"tput={self.throughput:.0f} txn/s abort={self.abort_rate:.1%}>"
+        )
+
+
+class BenchmarkRunner:
+    """Builds an engine for a workload/configuration pair and drives clients."""
+
+    def __init__(
+        self,
+        workload,
+        configuration,
+        options=None,
+        seed=7,
+        profiler=None,
+        mix=None,
+        start_services=True,
+    ):
+        self.workload = workload
+        self.configuration = configuration
+        self.options = options or EngineOptions()
+        self.seed = seed
+        self.mix = mix
+        self.start_services = start_services
+        self.env = Environment()
+        self.store = MultiVersionStore()
+        self.workload.populate(self.store)
+        self.profiler = profiler
+        self.engine = TebaldiEngine(
+            self.env,
+            configuration,
+            self.workload.transaction_types(),
+            store=self.store,
+            options=self.options,
+            profiler=profiler,
+        )
+        self._stop_event = self.env.event(name="stop")
+        self._client_counter = 0
+        if self.start_services:
+            self.engine.start_services(self._stop_event)
+
+    # -- client processes ----------------------------------------------------------
+
+    def _client(self, client_id, rng, mix):
+        while not self._stop_event.triggered:
+            txn_type, args = self.workload.next_transaction(rng, mix)
+            yield from self._run_with_retries(txn_type, args, client_id)
+
+    def _run_with_retries(self, txn_type, args, client_id, max_retries=None):
+        backoff = self.options.retry_backoff
+        attempts = 0
+        while not self._stop_event.triggered:
+            attempts += 1
+            try:
+                txn = yield from self.engine.execute_transaction(
+                    txn_type, args, client_id
+                )
+                return txn
+            except TransactionAborted:
+                if max_retries is not None and attempts > max_retries:
+                    return None
+                self.engine.stats.record_retry(None)
+                if backoff > 0:
+                    # Exponential backoff (capped) calms cascading-abort storms.
+                    delay = min(backoff * (2 ** min(attempts - 1, 5)), 0.1)
+                    yield self.env.timeout(delay)
+        return None
+
+    def add_clients(self, count, mix=None):
+        """Spawn ``count`` closed-loop client processes."""
+        mix = self.workload.validate_mix(mix or self.mix or self.workload.mix())
+        for _ in range(count):
+            client_id = self._client_counter
+            self._client_counter += 1
+            rng = self.workload.make_rng(self.seed + client_id * 7919)
+            self.env.process(self._client(client_id, rng, mix), name=f"client-{client_id}")
+
+    # -- measurement -------------------------------------------------------------------
+
+    def run(self, clients, duration=5.0, warmup=1.0, mix=None):
+        """Run ``clients`` closed-loop clients and measure steady-state throughput."""
+        self.add_clients(clients, mix=mix)
+        if warmup > 0:
+            self.env.run(until=self.env.now + warmup)
+        self.engine.stats.reset()
+        if self.profiler is not None and hasattr(self.profiler, "reset"):
+            self.profiler.reset(self.env.now)
+        self.env.run(until=self.env.now + duration)
+        return self.result(clients, duration)
+
+    def run_additional(self, duration):
+        """Continue the measurement for ``duration`` more virtual seconds."""
+        self.env.run(until=self.env.now + duration)
+        return self.result(self._client_counter, self.engine.stats.elapsed)
+
+    def result(self, clients, duration):
+        summary = self.engine.stats.summary()
+        return RunResult(
+            configuration=self.configuration.name,
+            clients=clients,
+            duration=duration,
+            throughput=summary["throughput"],
+            abort_rate=summary["abort_rate"],
+            mean_latency=summary["mean_latency"],
+            commits=summary["commits"],
+            aborts=summary["aborts"],
+            per_type=summary["per_type"],
+            abort_reasons=summary["abort_reasons"],
+        )
+
+    def stop(self):
+        if not self._stop_event.triggered:
+            self._stop_event.succeed(None)
+
+
+def run_benchmark(workload, configuration, clients, duration=5.0, warmup=1.0, **kwargs):
+    """One-shot helper: build a runner, run it, return the :class:`RunResult`."""
+    runner = BenchmarkRunner(workload, configuration, **kwargs)
+    result = runner.run(clients, duration=duration, warmup=warmup)
+    runner.stop()
+    return result

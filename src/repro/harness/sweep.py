@@ -1,0 +1,49 @@
+"""Parameter sweeps: throughput-vs-clients curves and peak throughput.
+
+These helpers regenerate the paper's figures: each figure is a family of
+(clients, throughput) series, one per configuration.
+"""
+
+from repro.harness.runner import run_benchmark
+
+
+def client_sweep(
+    workload_factory,
+    configuration_factory,
+    client_counts,
+    duration=4.0,
+    warmup=1.0,
+    **kwargs,
+):
+    """Measure throughput for each client count.
+
+    ``workload_factory`` and ``configuration_factory`` are zero-argument
+    callables so that every point of the sweep starts from a freshly loaded
+    database, as in the paper's experiments.
+    """
+    series = []
+    for clients in client_counts:
+        result = run_benchmark(
+            workload_factory(),
+            configuration_factory(),
+            clients=clients,
+            duration=duration,
+            warmup=warmup,
+            **kwargs,
+        )
+        series.append((clients, result))
+    return series
+
+
+def peak_throughput(series):
+    """The best throughput across a (clients, RunResult) sweep."""
+    best = None
+    for _clients, result in series:
+        if best is None or result.throughput > best.throughput:
+            best = result
+    return best
+
+
+def sweep_throughputs(series):
+    """Project a sweep to a plain (clients, txn/sec) series."""
+    return [(clients, result.throughput) for clients, result in series]

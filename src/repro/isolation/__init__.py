@@ -1,0 +1,20 @@
+"""Adya-style isolation theory used as a correctness oracle in tests.
+
+The committed execution history of an engine is turned into a Direct
+Serialization Graph (Section 2.2.3); isolation levels are characterised by
+the anomalies (aborted/intermediate reads) and DSG cycles they proscribe.
+"""
+
+from repro.isolation.history import History, committed_history
+from repro.isolation.dsg import DirectSerializationGraph, build_dsg
+from repro.isolation.checker import IsolationReport, check_engine, check_history
+
+__all__ = [
+    "History",
+    "committed_history",
+    "DirectSerializationGraph",
+    "build_dsg",
+    "IsolationReport",
+    "check_engine",
+    "check_history",
+]

@@ -1,0 +1,89 @@
+"""Direct Serialization Graphs (Adya, Section 2.2.3).
+
+Nodes are committed transactions; edges are the three kinds of direct
+dependencies: write-read (``wr``), write-write (``ww``) and read-write
+anti-dependencies (``rw``).  Isolation levels are characterised by which
+cycles they forbid.
+"""
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+
+@dataclass
+class DirectSerializationGraph:
+    """A DSG with typed edges, built from a :class:`~repro.isolation.history.History`."""
+
+    graph: nx.MultiDiGraph = field(default_factory=nx.MultiDiGraph)
+
+    def add_edge(self, source, target, kind):
+        if source == target:
+            return
+        self.graph.add_edge(source, target, kind=kind)
+
+    def edges(self, kinds=None):
+        for source, target, data in self.graph.edges(data=True):
+            if kinds is None or data["kind"] in kinds:
+                yield source, target, data["kind"]
+
+    def subgraph(self, kinds):
+        """A plain DiGraph restricted to the given edge kinds."""
+        restricted = nx.DiGraph()
+        restricted.add_nodes_from(self.graph.nodes)
+        for source, target, kind in self.edges(kinds):
+            restricted.add_edge(source, target)
+        return restricted
+
+    def has_cycle(self, kinds=None):
+        restricted = self.subgraph(kinds or {"ww", "wr", "rw"})
+        try:
+            nx.find_cycle(restricted)
+            return True
+        except nx.NetworkXNoCycle:
+            return False
+
+    def find_cycle(self, kinds=None):
+        restricted = self.subgraph(kinds or {"ww", "wr", "rw"})
+        try:
+            return nx.find_cycle(restricted)
+        except nx.NetworkXNoCycle:
+            return []
+
+    @property
+    def num_nodes(self):
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self):
+        return self.graph.number_of_edges()
+
+
+def build_dsg(history):
+    """Construct the DSG of a committed history."""
+    dsg = DirectSerializationGraph()
+    committed = set(history.transactions)
+    for txn_id in committed:
+        dsg.graph.add_node(txn_id)
+
+    # ww edges: consecutive committed versions of each key.
+    for key, order in history.version_orders.items():
+        previous_writer = None
+        for _seq, writer in order:
+            if previous_writer is not None and previous_writer in committed and writer in committed:
+                dsg.add_edge(previous_writer, writer, "ww")
+            previous_writer = writer
+
+    # wr and rw edges from each transaction's reads.
+    for txn in history.transactions.values():
+        for key, writer, commit_seq in txn.reads:
+            if writer in committed and writer != txn.txn_id:
+                dsg.add_edge(writer, txn.txn_id, "wr")
+            if commit_seq is None:
+                # Read of a version that never committed (should have been
+                # prevented); the checker flags it as an aborted read.
+                continue
+            next_writer, _next_seq = history.next_writer_after(key, commit_seq)
+            if next_writer is not None and next_writer in committed:
+                dsg.add_edge(txn.txn_id, next_writer, "rw")
+    return dsg

@@ -1,0 +1,79 @@
+"""Execution histories extracted from a running engine.
+
+A history records, per committed transaction, the versions it read and the
+versions it installed; together with the per-object version order kept by the
+storage module this is everything Adya's graph-based definitions need.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HistoryTransaction:
+    """One committed transaction in a history."""
+
+    txn_id: int
+    txn_type: str
+    reads: list = field(default_factory=list)     # (key, writer_id, commit_seq|None)
+    writes: list = field(default_factory=list)    # (key, commit_seq)
+    begin_time: float = 0.0
+    end_time: float = 0.0
+
+
+@dataclass
+class History:
+    """Committed transactions plus the per-key committed version order."""
+
+    transactions: dict = field(default_factory=dict)
+    version_orders: dict = field(default_factory=dict)   # key -> [(commit_seq, writer)]
+    aborted_ids: set = field(default_factory=set)
+
+    def add_transaction(self, txn):
+        self.transactions[txn.txn_id] = txn
+
+    def __len__(self):
+        return len(self.transactions)
+
+    def writers_of(self, key):
+        return [writer for _seq, writer in self.version_orders.get(key, [])]
+
+    def next_writer_after(self, key, commit_seq):
+        """Writer of the next committed version of ``key`` after ``commit_seq``."""
+        for seq, writer in self.version_orders.get(key, []):
+            if seq > commit_seq:
+                return writer, seq
+        return None, None
+
+    def first_writer(self, key):
+        order = self.version_orders.get(key, [])
+        return order[0][1] if order else None
+
+
+def committed_history(engine):
+    """Build a :class:`History` from an engine's committed transactions."""
+    history = History(aborted_ids=set(engine.aborted_ids))
+    for txn in engine.committed_history:
+        record = HistoryTransaction(
+            txn_id=txn.txn_id,
+            txn_type=txn.txn_type,
+            begin_time=txn.begin_time,
+            end_time=txn.end_time,
+        )
+        for read in txn.reads:
+            if read.version is None:
+                continue
+            record.reads.append(
+                (read.key, read.version.writer, read.version.commit_seq)
+            )
+        history.add_transaction(record)
+    committed_ids = set(history.transactions)
+    for key in engine.store.keys():
+        order = []
+        for version in engine.store.committed_versions(key):
+            order.append((version.commit_seq, version.writer))
+            if version.writer in committed_ids:
+                history.transactions[version.writer].writes.append(
+                    (key, version.commit_seq)
+                )
+        history.version_orders[key] = order
+    return history

@@ -1,0 +1,27 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate that replaces the paper's CloudLab cluster:
+closed-loop clients, data-server CPUs and the network are all simulated in
+virtual time so that the concurrency-control behaviour (blocking, aborts,
+pipelining) determines throughput, not the Python GIL.
+
+The programming model is the classic process-based one (SimPy-like): a
+*process* is a generator that yields :class:`~repro.sim.events.Event`
+instances; ``yield from`` composes sub-coroutines.
+"""
+
+from repro.sim.environment import Environment
+from repro.sim.events import Event, Interrupt, Timeout
+from repro.sim.resources import Condition, Resource, WaitQueue
+from repro.sim.network import NetworkModel
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Timeout",
+    "Condition",
+    "Resource",
+    "WaitQueue",
+    "NetworkModel",
+]

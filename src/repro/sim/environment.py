@@ -1,0 +1,165 @@
+"""The discrete-event simulation environment and process machinery."""
+
+import heapq
+from itertools import count
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Interrupt, Timeout
+
+
+class Process(Event):
+    """A running process: wraps a generator and is itself an Event.
+
+    The process event triggers when the generator returns (with the return
+    value) or raises (with the exception), so processes can wait for each
+    other with ``yield other_process``.
+    """
+
+    def __init__(self, env, generator, name=""):
+        super().__init__(env, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._target = None
+        self._interrupts = []
+        self._generation = 0
+        # Kick off the process at the current simulation time.
+        init = Event(env, name=f"init:{self.name}")
+        init.succeed(None)
+        self._subscribe(init)
+
+    @property
+    def is_alive(self):
+        return not self.triggered
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        self._interrupts.append(Interrupt(cause))
+        wakeup = Event(self.env, name=f"interrupt:{self.name}")
+        wakeup.succeed(None)
+        self._subscribe(wakeup, interrupting=True)
+
+    def _subscribe(self, event, interrupting=False):
+        if not interrupting:
+            self._target = event
+        generation = self._generation
+        event.callbacks.append(lambda ev: self._resume(ev, generation))
+        if getattr(event, "_processed", False):
+            # The event already fired; resume on the next scheduler step.
+            self.env._schedule_callback(lambda: self._resume(event, generation))
+
+    def _resume(self, event, generation=None):
+        if self.triggered:
+            return
+        if generation is not None and generation != self._generation:
+            # Stale wake-up from an event we are no longer waiting on
+            # (e.g. the original target after an interrupt).
+            return
+        self._generation += 1
+        try:
+            if self._interrupts:
+                interrupt = self._interrupts.pop(0)
+                next_event = self.generator.throw(interrupt)
+            elif event._is_error:
+                next_event = self.generator.throw(event.value)
+            else:
+                next_event = self.generator.send(event.value)
+        except StopIteration as stop:
+            self._finish(value=stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            self._finish(exception=exc)
+            return
+        if not isinstance(next_event, Event):
+            self._finish(
+                exception=SimulationError(
+                    f"process {self.name!r} yielded {next_event!r}, not an Event"
+                )
+            )
+            return
+        self._subscribe(next_event)
+
+    def _finish(self, value=None, exception=None):
+        self.generator.close()
+        if exception is not None:
+            if not self.callbacks and not isinstance(exception, Interrupt):
+                # Nobody is waiting for this process: re-raise so bugs in the
+                # engine do not pass silently.
+                raise exception
+            self.fail(exception)
+        else:
+            self.succeed(value)
+
+
+class Environment:
+    """Priority-queue based discrete-event simulation environment."""
+
+    def __init__(self, initial_time=0.0):
+        self._now = float(initial_time)
+        self._queue = []
+        self._seq = count()
+        self._active = True
+
+    @property
+    def now(self):
+        """Current virtual time, in seconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule_event(self, event, delay=0.0):
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    def _schedule_callback(self, callback, delay=0.0):
+        event = Event(self, name="callback")
+        event._value = None
+        event._is_error = False
+        event.callbacks.append(lambda _ev: callback())
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    # -- public API ------------------------------------------------------
+
+    def process(self, generator, name=""):
+        """Start running ``generator`` as a simulation process."""
+        return Process(self, generator, name=name)
+
+    def event(self, name=""):
+        """Create a fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay, value=None):
+        """Return an event that triggers ``delay`` virtual seconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def run(self, until=None):
+        """Run the simulation.
+
+        ``until`` may be a number (virtual-time horizon), an
+        :class:`~repro.sim.events.Event` (run until it triggers), or ``None``
+        (run until the event queue drains).
+        """
+        stop_event = until if isinstance(until, Event) else None
+        horizon = until if isinstance(until, (int, float)) else None
+        while self._queue:
+            time, _seq, event = self._queue[0]
+            if horizon is not None and time > horizon:
+                self._now = float(horizon)
+                return None
+            heapq.heappop(self._queue)
+            self._now = time
+            self._dispatch(event)
+            if stop_event is not None and stop_event.triggered:
+                if stop_event._is_error:
+                    raise stop_event.value
+                return stop_event.value
+        if horizon is not None:
+            self._now = float(horizon)
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError("run(until=event): queue drained before event fired")
+        return None
+
+    def _dispatch(self, event):
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)

@@ -1,0 +1,127 @@
+"""Events for the discrete-event simulation kernel.
+
+An :class:`Event` is a one-shot synchronisation object.  Processes yield an
+event to suspend until the event is triggered; the value (or exception)
+passed when triggering is delivered to every waiting process.
+"""
+
+from repro.errors import SimulationError
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    Events start *pending*.  Calling :meth:`succeed` or :meth:`fail` triggers
+    the event exactly once; afterwards the environment resumes every process
+    that yielded it.  Triggering twice is an error.
+    """
+
+    def __init__(self, env, name=""):
+        self.env = env
+        self.name = name
+        self.callbacks = []
+        self._value = _PENDING
+        self._is_error = False
+
+    @property
+    def triggered(self):
+        """True once succeed() or fail() has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self):
+        """True if the event was triggered with a value (not an exception)."""
+        return self.triggered and not self._is_error
+
+    @property
+    def value(self):
+        if not self.triggered:
+            raise SimulationError(f"event {self.name!r} has no value yet")
+        return self._value
+
+    def succeed(self, value=None):
+        """Trigger the event with ``value``; wakes all waiters."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._value = value
+        self._is_error = False
+        self.env._schedule_event(self)
+        return self
+
+    def fail(self, exception):
+        """Trigger the event with an exception that is raised in waiters."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail() requires an exception")
+        self._value = exception
+        self._is_error = True
+        self.env._schedule_event(self)
+        return self
+
+    def __repr__(self):
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a virtual-time delay."""
+
+    def __init__(self, env, delay, value=None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env, name=f"timeout({delay})")
+        self.delay = delay
+        self._value = value
+        self._is_error = False
+        env._schedule_event(self, delay=delay)
+
+    @property
+    def triggered(self):
+        # A timeout is conceptually triggered from creation; the environment
+        # controls when callbacks run.
+        return True
+
+
+def any_of(env, events, name="any_of"):
+    """Return an event that triggers when the first of ``events`` triggers.
+
+    The combined event succeeds with ``(index, value)`` of the first event to
+    fire, or fails with its exception.  Used for lock waits with deadlock
+    timeouts.
+    """
+    combined = Event(env, name=name)
+
+    def _make_callback(index):
+        def _on_trigger(event):
+            if combined.triggered:
+                return
+            if event._is_error:
+                combined.fail(event.value)
+            else:
+                combined.succeed((index, event.value))
+
+        return _on_trigger
+
+    for index, event in enumerate(events):
+        event.callbacks.append(_make_callback(index))
+        if getattr(event, "_processed", False) and not combined.triggered:
+            if event._is_error:
+                combined.fail(event.value)
+            else:
+                combined.succeed((index, event.value))
+    return combined
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    Used by the deadlock-timeout machinery in 2PL and by the reconfiguration
+    protocols to force-abort in-flight transactions.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause

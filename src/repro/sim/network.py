@@ -1,0 +1,81 @@
+"""Simple cluster cost model: network round-trips and server CPU.
+
+The paper's cluster (Section 4.6) has transaction coordinators (TCs) and data
+servers (DSs) connected by a 10 GbE network with ~0.1 ms ping.  The four-phase
+protocol is optimised so that each phase costs a single TC-to-DS round-trip
+regardless of the CC-tree depth (Section 4.5.2); individual CC mechanisms may
+add extra round-trips (SSI's timestamp server, RP's per-step coordination).
+
+The :class:`NetworkModel` captures these costs as virtual-time delays, and
+:class:`ClusterModel` adds a bounded CPU pool so throughput saturates when the
+cluster runs out of compute, exactly like the real testbed.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.sim.resources import Resource
+
+
+@dataclass
+class NetworkModel:
+    """Virtual-time network cost parameters (seconds)."""
+
+    rtt: float = 120e-6
+    timestamp_rtt: float = 120e-6
+    jitter: float = 0.0
+
+    def round_trip(self):
+        """Cost of one TC <-> DS round-trip."""
+        return self.rtt
+
+    def timestamp_round_trip(self):
+        """Cost of contacting the centralized timestamp / batch server."""
+        return self.timestamp_rtt
+
+
+@dataclass
+class CostModel:
+    """Per-operation CPU cost parameters (seconds)."""
+
+    operation_cpu: float = 12e-6
+    phase_cpu: float = 6e-6
+    cc_layer_cpu: float = 4e-6
+    commit_cpu: float = 10e-6
+    durability_flush_cpu: float = 15e-6
+
+    def operation_cost(self, cc_layers):
+        """CPU cost of one read/write that traverses ``cc_layers`` CC nodes."""
+        return self.operation_cpu + self.cc_layer_cpu * cc_layers
+
+    def phase_cost(self, cc_layers):
+        """CPU cost of one non-operation phase (start/validate/commit)."""
+        return self.phase_cpu + self.cc_layer_cpu * cc_layers
+
+
+@dataclass
+class ClusterModel:
+    """Aggregate cluster resources: CPU pool plus network model.
+
+    ``cpu_slots`` bounds how many operations the cluster can execute at the
+    same virtual time, which is what makes uncontended throughput saturate.
+    """
+
+    env: object
+    cpu_slots: int = 64
+    network: NetworkModel = field(default_factory=NetworkModel)
+    costs: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self):
+        self.cpu = Resource(self.env, capacity=self.cpu_slots, name="cluster-cpu")
+
+    def compute(self, duration):
+        """Consume cluster CPU for ``duration`` virtual seconds."""
+        if duration <= 0:
+            return
+        yield from self.cpu.use(duration)
+
+    def network_delay(self, round_trips=1):
+        """Wait for ``round_trips`` network round-trips (no CPU held)."""
+        delay = self.network.round_trip() * round_trips
+        if delay > 0:
+            yield self.env.timeout(delay)

@@ -1,0 +1,129 @@
+"""Synchronisation and resource primitives built on the simulation kernel."""
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class WaitQueue:
+    """A FIFO queue of waiting processes, woken explicitly.
+
+    This is the building block used for lock wait-lists and pipeline-step
+    hand-offs: a coroutine calls ``yield from queue.wait()`` and is resumed
+    when another coroutine calls :meth:`notify_all` (or :meth:`notify_one`).
+    """
+
+    def __init__(self, env, name=""):
+        self.env = env
+        self.name = name
+        self._waiters = deque()
+
+    def __len__(self):
+        return len(self._waiters)
+
+    def wait(self):
+        """Suspend the calling coroutine until notified."""
+        event = Event(self.env, name=f"wait:{self.name}")
+        self._waiters.append(event)
+        value = yield event
+        return value
+
+    def notify_one(self, value=None):
+        """Wake the oldest waiter, if any."""
+        while self._waiters:
+            event = self._waiters.popleft()
+            if not event.triggered:
+                event.succeed(value)
+                return True
+        return False
+
+    def notify_all(self, value=None):
+        """Wake every waiter."""
+        count = 0
+        while self.notify_one(value):
+            count += 1
+        return count
+
+    def fail_all(self, exception):
+        """Wake every waiter with an exception (used on force-abort)."""
+        while self._waiters:
+            event = self._waiters.popleft()
+            if not event.triggered:
+                event.fail(exception)
+
+
+class Condition:
+    """Broadcast condition variable: wait until the next notification."""
+
+    def __init__(self, env, name=""):
+        self.env = env
+        self.name = name
+        self._event = Event(env, name=f"cond:{name}")
+
+    def wait(self):
+        """Wait for the next :meth:`notify_all` call."""
+        event = self._event
+        yield event
+        return event.value
+
+    def wait_for(self, predicate):
+        """Wait (re-checking after each notification) until ``predicate()``."""
+        while not predicate():
+            yield from self.wait()
+
+    def notify_all(self, value=None):
+        """Wake every process currently waiting and reset the condition."""
+        event, self._event = self._event, Event(self.env, name=f"cond:{self.name}")
+        if not event.triggered:
+            event.succeed(value)
+
+
+class Resource:
+    """A counting resource with FIFO admission (models server CPU slots)."""
+
+    def __init__(self, env, capacity, name=""):
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters = deque()
+
+    @property
+    def in_use(self):
+        return self._in_use
+
+    @property
+    def queued(self):
+        return len(self._waiters)
+
+    def acquire(self):
+        """Acquire one slot, waiting FIFO if the resource is saturated."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return
+        event = Event(self.env, name=f"acquire:{self.name}")
+        self._waiters.append(event)
+        yield event
+        # The releasing process transferred its slot to us.
+
+    def release(self):
+        """Release one slot, handing it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        while self._waiters:
+            event = self._waiters.popleft()
+            if not event.triggered:
+                event.succeed(None)
+                return
+        self._in_use -= 1
+
+    def use(self, duration):
+        """Hold one slot for ``duration`` virtual seconds (acquire/delay/release)."""
+        yield from self.acquire()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release()

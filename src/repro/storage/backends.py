@@ -1,0 +1,92 @@
+"""Persistent key-value backends used by the durability module.
+
+The paper outsources persistence to an off-the-shelf key-value store (Redis or
+RocksDB); the only requirement is a durable PUT/GET interface (Section 4.5.4).
+This module provides two substitutes with the same interface:
+
+* :class:`InMemoryBackend` — a dictionary, useful for tests that need to
+  inspect what was "persisted" without touching the filesystem.
+* :class:`FileBackend` — an append-only log file with an in-memory index,
+  the closest laptop-scale equivalent of a log-structured store.
+"""
+
+import json
+import os
+
+
+class InMemoryBackend:
+    """Dictionary-backed 'persistent' store (survives engine restarts only)."""
+
+    def __init__(self):
+        self._data = {}
+        self.put_count = 0
+
+    def put(self, key, value):
+        self._data[key] = value
+        self.put_count += 1
+
+    def get(self, key, default=None):
+        return self._data.get(key, default)
+
+    def scan(self, prefix=""):
+        """All (key, value) pairs whose key starts with ``prefix``."""
+        return [(k, v) for k, v in self._data.items() if k.startswith(prefix)]
+
+    def delete(self, key):
+        self._data.pop(key, None)
+
+    def close(self):
+        """No resources to release for the in-memory backend."""
+
+    def __len__(self):
+        return len(self._data)
+
+
+class FileBackend:
+    """Append-only JSON-lines file with an in-memory index.
+
+    Every :meth:`put` appends one line ``{"k": ..., "v": ...}``; on open the
+    file is replayed to rebuild the index, so the latest value per key wins.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._index = {}
+        self.put_count = 0
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if os.path.exists(path):
+            self._replay()
+        self._file = open(path, "a", encoding="utf-8")
+
+    def _replay(self):
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                self._index[record["k"]] = record["v"]
+
+    def put(self, key, value):
+        record = json.dumps({"k": key, "v": value}, default=str)
+        self._file.write(record + "\n")
+        self._file.flush()
+        self._index[key] = value
+        self.put_count += 1
+
+    def get(self, key, default=None):
+        return self._index.get(key, default)
+
+    def scan(self, prefix=""):
+        return [(k, v) for k, v in self._index.items() if k.startswith(prefix)]
+
+    def delete(self, key):
+        self._index.pop(key, None)
+
+    def close(self):
+        self._file.close()
+
+    def __len__(self):
+        return len(self._index)

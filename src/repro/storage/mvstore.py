@@ -1,0 +1,204 @@
+"""The multi-version key-value store used by every CC mechanism.
+
+The store keeps, per key, the ordered chain of committed versions plus the
+set of uncommitted (in-flight) versions.  CC mechanisms never mutate the
+chains directly; they go through the engine, which calls
+:meth:`MultiVersionStore.install`, :meth:`commit_transaction` and
+:meth:`abort_transaction`.
+"""
+
+from collections import defaultdict
+from itertools import count
+
+from repro.errors import StorageError
+from repro.storage.versions import Version
+
+
+class MultiVersionStore:
+    """In-memory multi-version storage for a Tebaldi instance."""
+
+    def __init__(self):
+        self._committed = defaultdict(list)
+        self._uncommitted = defaultdict(list)
+        self._writes_by_txn = defaultdict(list)
+        self._commit_seq = count(1)
+        self._last_commit_seq = 0
+
+    # -- loading / reading -------------------------------------------------
+
+    def load(self, key, value, writer=0, writer_type="loader"):
+        """Install an initial committed version (database population)."""
+        version = Version(key=key, value=value, writer=writer, writer_type=writer_type)
+        version.mark_committed(next(self._commit_seq), timestamp=0.0)
+        self._last_commit_seq = version.commit_seq
+        self._committed[key].append(version)
+        return version
+
+    def keys(self):
+        """All keys that have at least one committed version."""
+        return self._committed.keys()
+
+    def committed_versions(self, key):
+        """Committed versions of ``key`` in install (commit-sequence) order."""
+        return self._committed.get(key, [])
+
+    def uncommitted_versions(self, key):
+        """In-flight uncommitted versions of ``key`` (install order)."""
+        return self._uncommitted.get(key, [])
+
+    def latest_committed(self, key):
+        """Most recently committed version of ``key`` or ``None``."""
+        chain = self._committed.get(key)
+        return chain[-1] if chain else None
+
+    def latest_committed_before(self, key, timestamp, strict=True):
+        """Latest committed version with CC timestamp below ``timestamp``.
+
+        Used by snapshot reads (SSI) and timestamp-ordering reads (TSO).
+        Versions without a timestamp (written under single-version CCs) fall
+        back to treating their commit as happening at timestamp 0, i.e. they
+        are visible to every snapshot.
+        """
+        chain = self._committed.get(key, [])
+        # Commit timestamps are assigned in commit order, so the chain is
+        # timestamp-ordered and the newest visible version is found by
+        # scanning backwards and stopping at the first match.
+        for version in reversed(chain):
+            ts = version.timestamp if version.timestamp is not None else 0.0
+            visible = ts < timestamp if strict else ts <= timestamp
+            if visible:
+                return version
+        return None
+
+    def own_uncommitted(self, key, txn_id):
+        """The uncommitted version of ``key`` written by ``txn_id``, if any."""
+        for version in reversed(self._uncommitted.get(key, [])):
+            if version.writer == txn_id:
+                return version
+        return None
+
+    def version_by_writer(self, key, txn_id):
+        """The (committed or uncommitted) version of ``key`` written by a txn."""
+        for version in reversed(self._uncommitted.get(key, [])):
+            if version.writer == txn_id:
+                return version
+        for version in reversed(self._committed.get(key, [])):
+            if version.writer == txn_id:
+                return version
+        return None
+
+    def last_commit_seq(self):
+        """Commit sequence number of the most recent commit."""
+        return self._last_commit_seq
+
+    # -- writing -------------------------------------------------------------
+
+    def install(self, key, value, txn):
+        """Install an uncommitted version written by ``txn``.
+
+        A transaction that writes the same key twice overwrites its own
+        uncommitted version (the intermediate value is superseded, matching
+        the buffered-writes model of the paper).
+        """
+        for version in self._uncommitted.get(key, []):
+            if version.writer == txn.txn_id:
+                version.value = value
+                return version
+        version = Version(
+            key=key,
+            value=value,
+            writer=txn.txn_id,
+            writer_type=txn.txn_type,
+            epoch=txn.gc_epoch,
+            timestamp=txn.cc_timestamp,
+            start_timestamp=txn.start_timestamp,
+        )
+        self._uncommitted[key].append(version)
+        self._writes_by_txn[txn.txn_id].append(version)
+        return version
+
+    def commit_transaction(self, txn, timestamp=None):
+        """Move every uncommitted version of ``txn`` to the committed chains.
+
+        Returns the list of committed versions.  The global commit sequence
+        defines the total order of versions per object.
+        """
+        versions = self._writes_by_txn.pop(txn.txn_id, [])
+        committed = []
+        for version in versions:
+            seq = next(self._commit_seq)
+            version.mark_committed(seq, timestamp=timestamp)
+            self._last_commit_seq = seq
+            chain = self._uncommitted.get(version.key, [])
+            if version in chain:
+                chain.remove(version)
+            self._committed[version.key].append(version)
+            committed.append(version)
+        return committed
+
+    def abort_transaction(self, txn):
+        """Discard every uncommitted version written by ``txn``."""
+        versions = self._writes_by_txn.pop(txn.txn_id, [])
+        for version in versions:
+            chain = self._uncommitted.get(version.key, [])
+            if version in chain:
+                chain.remove(version)
+        return len(versions)
+
+    def writes_of(self, txn_id):
+        """Uncommitted versions currently installed by ``txn_id``."""
+        return list(self._writes_by_txn.get(txn_id, []))
+
+    # -- garbage collection ---------------------------------------------------
+
+    def prune(self, key, keep_last=1):
+        """Drop all but the last ``keep_last`` committed versions of ``key``."""
+        if keep_last < 1:
+            raise StorageError("prune() must keep at least one version")
+        chain = self._committed.get(key)
+        if not chain or len(chain) <= keep_last:
+            return 0
+        removed = len(chain) - keep_last
+        self._committed[key] = chain[-keep_last:]
+        return removed
+
+    def prune_epochs(self, max_epoch, keep_last=1):
+        """Drop committed versions from GC epochs ``<= max_epoch``.
+
+        The newest committed version of each key is always retained so that
+        future readers observe the current database state.
+        """
+        removed = 0
+        for key, chain in self._committed.items():
+            if len(chain) <= keep_last:
+                continue
+            keep = chain[-keep_last:]
+            head = [
+                v for v in chain[:-keep_last] if v.epoch > max_epoch
+            ]
+            new_chain = head + keep
+            removed += len(chain) - len(new_chain)
+            self._committed[key] = new_chain
+        return removed
+
+    def version_count(self):
+        """Total number of committed versions currently retained."""
+        return sum(len(chain) for chain in self._committed.values())
+
+    # -- snapshot / recovery helpers -------------------------------------------
+
+    def latest_state(self):
+        """Map of key -> value of the latest committed version (for recovery)."""
+        return {
+            key: chain[-1].value
+            for key, chain in self._committed.items()
+            if chain
+        }
+
+    def clear(self):
+        """Drop all state (used by recovery before replaying logs)."""
+        self._committed.clear()
+        self._uncommitted.clear()
+        self._writes_by_txn.clear()
+        self._commit_seq = count(1)
+        self._last_commit_seq = 0

@@ -1,0 +1,95 @@
+"""Write-ahead logging primitives used by the durability protocol."""
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any
+
+
+@dataclass
+class LogRecord:
+    """One write-ahead log record.
+
+    ``kind`` is one of ``"operation"`` (a buffered write), ``"precommit"``
+    (the per-data-server precommit record carrying the participant count and
+    write ordering) or ``"commit"`` (commit notification, used only to speed
+    up recovery).
+    """
+
+    kind: str
+    txn_id: int
+    server_id: int
+    payload: dict = field(default_factory=dict)
+    gcp_epoch: int = 0
+    lsn: int = 0
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "txn_id": self.txn_id,
+            "server_id": self.server_id,
+            "payload": self.payload,
+            "gcp_epoch": self.gcp_epoch,
+            "lsn": self.lsn,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            kind=data["kind"],
+            txn_id=data["txn_id"],
+            server_id=data["server_id"],
+            payload=data.get("payload", {}),
+            gcp_epoch=data.get("gcp_epoch", 0),
+            lsn=data.get("lsn", 0),
+        )
+
+
+class WriteAheadLog:
+    """Per-data-server write-ahead log.
+
+    Records are appended to a volatile buffer and become durable when
+    :meth:`flush` persists them to the backend (synchronously at precommit,
+    or asynchronously in GCP-epoch batches).
+    """
+
+    def __init__(self, server_id, backend):
+        self.server_id = server_id
+        self.backend = backend
+        self._lsn = count(1)
+        self._buffer = []
+        self.flush_count = 0
+
+    def append(self, record):
+        """Append a record to the volatile tail of the log."""
+        record.lsn = next(self._lsn)
+        record.server_id = self.server_id
+        self._buffer.append(record)
+        return record
+
+    @property
+    def pending(self):
+        """Number of records not yet persisted."""
+        return len(self._buffer)
+
+    def flush(self, up_to_epoch=None):
+        """Persist buffered records (optionally only up to a GCP epoch)."""
+        remaining = []
+        flushed = 0
+        for record in self._buffer:
+            if up_to_epoch is not None and record.gcp_epoch > up_to_epoch:
+                remaining.append(record)
+                continue
+            key = f"wal/{self.server_id}/{record.lsn:012d}"
+            self.backend.put(key, record.to_dict())
+            flushed += 1
+        self._buffer = remaining
+        if flushed:
+            self.flush_count += 1
+        return flushed
+
+    def persisted_records(self):
+        """Read back every durable record of this server from the backend."""
+        records = []
+        for _key, value in sorted(self.backend.scan(f"wal/{self.server_id}/")):
+            records.append(LogRecord.from_dict(value))
+        return records

@@ -1,0 +1,5 @@
+"""Benchmark workloads: TPC-C, SEATS and the paper's microbenchmarks."""
+
+from repro.workloads.base import Workload
+
+__all__ = ["Workload"]

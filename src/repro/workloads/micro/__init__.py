@@ -1,0 +1,13 @@
+"""Microbenchmark workloads used in Sections 4.6.4 and 4.6.5."""
+
+from repro.workloads.micro.workloads import (
+    CrossGroupConflictWorkload,
+    HierarchyMicroWorkload,
+    NoConflictWorkload,
+)
+
+__all__ = [
+    "CrossGroupConflictWorkload",
+    "HierarchyMicroWorkload",
+    "NoConflictWorkload",
+]

@@ -1,0 +1,5 @@
+"""SEATS airline-reservation workload adapted as in Section 4.6.2."""
+
+from repro.workloads.seats.workload import SEATSWorkload, SEATS_MIX
+
+__all__ = ["SEATSWorkload", "SEATS_MIX"]

@@ -1,0 +1,5 @@
+"""TPC-C workload adapted to the transactional key-value interface (§4.6)."""
+
+from repro.workloads.tpcc.workload import TPCCWorkload, TPCC_STANDARD_MIX, TPCC_HOT_ITEM_MIX
+
+__all__ = ["TPCCWorkload", "TPCC_STANDARD_MIX", "TPCC_HOT_ITEM_MIX"]

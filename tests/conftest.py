@@ -1,0 +1,110 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.config import Configuration, leaf, monolithic, node
+from repro.core.engine import EngineOptions, TebaldiEngine
+from repro.sim.environment import Environment
+from repro.storage.mvstore import MultiVersionStore
+from repro.workloads.micro import CrossGroupConflictWorkload, NoConflictWorkload
+from repro.workloads.tpcc import TPCCWorkload
+from repro.workloads.tpcc.schema import TPCCScale
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def store():
+    return MultiVersionStore()
+
+
+@pytest.fixture
+def fast_options():
+    """Engine options with costs disabled (pure logic tests)."""
+    return EngineOptions(charge_costs=False, lock_timeout=0.2, commit_wait_timeout=0.4)
+
+
+@pytest.fixture
+def micro_workload():
+    return CrossGroupConflictWorkload(shared_rows=10, cold_rows=100)
+
+
+@pytest.fixture
+def noconflict_workload():
+    return NoConflictWorkload(rows=1000, operations=4)
+
+
+@pytest.fixture
+def tiny_tpcc():
+    """A very small TPC-C population for functional tests."""
+    scale = TPCCScale(
+        warehouses=1,
+        districts_per_warehouse=2,
+        customers_per_district=10,
+        items=30,
+        initial_orders_per_district=5,
+    )
+    return TPCCWorkload(scale=scale)
+
+
+def build_engine(env, workload, configuration, options=None, profiler=None):
+    """Create an engine with the workload's data loaded."""
+    store = MultiVersionStore()
+    workload.populate(store)
+    return TebaldiEngine(
+        env,
+        configuration,
+        workload.transaction_types(),
+        store=store,
+        options=options or EngineOptions(charge_costs=False),
+        profiler=profiler,
+    )
+
+
+def run_transactions(env, engine, requests):
+    """Run a list of (txn_type, args) through the engine; return transactions."""
+    from repro.errors import TransactionAborted
+
+    outcomes = []
+
+    def _one(txn_type, args):
+        try:
+            txn = yield from engine.execute_transaction(txn_type, args)
+            outcomes.append(txn)
+        except TransactionAborted as aborted:
+            outcomes.append(aborted)
+
+    processes = [
+        env.process(_one(txn_type, args), name=f"test-{index}")
+        for index, (txn_type, args) in enumerate(requests)
+    ]
+    env.run()
+    return outcomes, processes
+
+
+@pytest.fixture
+def micro_configs():
+    """A few representative configurations for the micro workload."""
+    return {
+        "2pl": monolithic("2pl", ("group_a_update", "group_b_update")),
+        "ssi": monolithic("ssi", ("group_a_update", "group_b_update")),
+        "two-layer": Configuration(
+            node(
+                "2pl",
+                leaf("rp", "group_a_update"),
+                leaf("rp", "group_b_update"),
+            ),
+            name="two-layer",
+        ),
+        "three-layer": Configuration(
+            node(
+                "ssi",
+                leaf("none", "group_b_read"),
+                node("2pl", leaf("rp", "group_a_update")),
+            ),
+            name="three-layer",
+        ),
+    }

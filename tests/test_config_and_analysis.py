@@ -1,0 +1,219 @@
+"""Tests for CC-tree configurations, static analysis and transaction profiles."""
+
+import pytest
+
+from repro.analysis.chopping import check_choppable
+from repro.analysis.profiles import TransactionProfile, TransactionType
+from repro.analysis.rp_analysis import analyze_pipeline
+from repro.core.config import CCSpec, Configuration, leaf, monolithic, node
+from repro.errors import AnalysisError, ConfigurationError
+from repro.workloads.tpcc import TPCCWorkload
+from repro.workloads.tpcc.transactions import PROFILES
+
+
+class TestConfiguration:
+    def test_monolithic_has_single_leaf(self):
+        config = monolithic("2pl", ("a", "b"))
+        assert config.depth() == 1
+        assert config.root.is_leaf
+        assert set(config.transaction_types) == {"a", "b"}
+
+    def test_leaf_lookup(self):
+        config = Configuration(node("2pl", leaf("rp", "a"), leaf("none", "b")))
+        assert config.leaf_for("a").cc == "rp"
+        assert config.leaf_for("b").cc == "none"
+
+    def test_unknown_type_raises(self):
+        config = monolithic("2pl", ("a",))
+        with pytest.raises(ConfigurationError):
+            config.leaf_for("missing")
+
+    def test_duplicate_assignment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(node("2pl", leaf("rp", "a"), leaf("rp", "a")))
+
+    def test_internal_node_with_transactions_rejected(self):
+        bad = CCSpec(cc="2pl", transactions=("a",), children=[leaf("rp", "b")])
+        with pytest.raises(ConfigurationError):
+            Configuration(bad)
+
+    def test_empty_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(node("2pl", node("ssi")))
+
+    def test_depth_of_three_layer_tree(self):
+        config = Configuration(
+            node("ssi", leaf("none", "r"), node("2pl", leaf("rp", "a"), leaf("rp", "b")))
+        )
+        assert config.depth() == 3
+
+    def test_clone_is_independent(self):
+        config = Configuration(node("2pl", leaf("rp", "a"), leaf("none", "b")))
+        clone = config.clone(name="copy")
+        clone.root.children[0].cc = "tso"
+        assert config.leaf_for("a").cc == "rp"
+        assert clone.leaf_for("a").cc == "tso"
+
+    def test_signature_detects_structural_equality(self):
+        one = Configuration(node("2pl", leaf("rp", "a"), leaf("none", "b")))
+        two = Configuration(node("2pl", leaf("rp", "a"), leaf("none", "b")))
+        three = Configuration(node("ssi", leaf("rp", "a"), leaf("none", "b")))
+        assert one.signature() == two.signature()
+        assert one.signature() != three.signature()
+
+    def test_describe_mentions_all_transactions(self):
+        config = Configuration(node("2pl", leaf("rp", "a", "b"), leaf("none", "c")))
+        text = config.describe()
+        for name in ("a", "b", "c"):
+            assert name in text
+
+    def test_all_transactions_document_order(self):
+        spec = node("2pl", leaf("rp", "a", "b"), leaf("none", "c"))
+        assert spec.all_transactions() == ["a", "b", "c"]
+
+
+class TestProfiles:
+    def test_tables_deduplicated_in_order(self):
+        profile = TransactionProfile("t", accesses=(("a", "r"), ("b", "w"), ("a", "w")))
+        assert profile.tables() == ["a", "b"]
+
+    def test_write_and_read_tables(self):
+        profile = TransactionProfile("t", accesses=(("a", "r"), ("b", "w")))
+        assert profile.read_tables() == ["a"]
+        assert profile.write_tables() == ["b"]
+
+    def test_access_pairs_include_loop_back_edge(self):
+        profile = TransactionProfile(
+            "t", accesses=(("a", "r"), ("b", "w"), ("a", "r"))
+        )
+        assert ("b", "a") in profile.access_pairs()
+
+    def test_table_positions_normalised(self):
+        profile = TransactionProfile("t", accesses=(("a", "r"), ("b", "w"), ("c", "w")))
+        positions = profile.table_positions()
+        assert positions["a"] == 0.0
+        assert positions["c"] == 1.0
+
+    def test_transaction_type_name_mismatch_rejected(self):
+        profile = TransactionProfile("x")
+        with pytest.raises(ValueError):
+            TransactionType(name="y", procedure=lambda ctx: None, profile=profile)
+
+
+class TestRPAnalysis:
+    def test_disjoint_tables_get_own_steps(self):
+        profiles = [
+            TransactionProfile("t1", accesses=(("a", "w"), ("b", "w"), ("c", "w"))),
+        ]
+        analysis = analyze_pipeline(profiles)
+        assert analysis.num_steps == 3
+        assert analysis.step_of("a") < analysis.step_of("b") < analysis.step_of("c")
+
+    def test_cycle_merges_tables_into_one_step(self):
+        profiles = [
+            TransactionProfile("t1", accesses=(("a", "w"), ("b", "w"))),
+            TransactionProfile("t2", accesses=(("b", "w"), ("a", "w"))),
+        ]
+        analysis = analyze_pipeline(profiles)
+        assert analysis.step_of("a") == analysis.step_of("b")
+        assert analysis.merged_components
+
+    def test_unknown_table_maps_to_last_step(self):
+        analysis = analyze_pipeline(
+            [TransactionProfile("t", accesses=(("a", "w"), ("b", "w")))]
+        )
+        assert analysis.step_of("zzz") == analysis.num_steps - 1
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_pipeline([])
+
+    def test_tpcc_no_pay_group_is_fine_grained(self):
+        analysis = analyze_pipeline([PROFILES["new_order"], PROFILES["payment"]])
+        # No cycles: every table gets its own pipeline step.
+        assert analysis.pipeline_efficiency == pytest.approx(1.0)
+        assert analysis.step_of("warehouse") < analysis.step_of("district")
+
+    def test_tpcc_stock_level_creates_cycle(self):
+        analysis = analyze_pipeline(
+            [PROFILES["new_order"], PROFILES["payment"], PROFILES["stock_level"]]
+        )
+        # stock_level reads order_line before stock while new_order writes
+        # stock before order_line: the two tables must share a step.
+        assert analysis.step_of("stock") == analysis.step_of("order_line")
+        assert analysis.pipeline_efficiency < 1.0
+
+    def test_history_ordered_late_for_payment(self):
+        analysis = analyze_pipeline([PROFILES["new_order"], PROFILES["payment"]])
+        assert analysis.step_of("history") > analysis.step_of("orders")
+
+    def test_explicit_steps_param(self):
+        from repro.analysis.rp_analysis import RPAnalysis
+
+        analysis = RPAnalysis(
+            steps=[frozenset({"a"}), frozenset({"b"})], table_to_step={"a": 0, "b": 1}
+        )
+        assert analysis.step_of("a") == 0
+        assert "2 steps" in analysis.describe()
+
+
+class TestChopping:
+    def test_disjoint_transactions_are_choppable(self):
+        profiles = [
+            TransactionProfile("t1", accesses=(("a", "w"), ("b", "w"))),
+            TransactionProfile("t2", accesses=(("c", "w"), ("d", "w"))),
+        ]
+        choppable, _graph = check_choppable(profiles)
+        assert choppable
+
+    def test_interleaved_conflicts_create_sc_cycle(self):
+        profiles = [
+            TransactionProfile("t1", accesses=(("a", "w"), ("b", "w"))),
+            TransactionProfile("t2", accesses=(("a", "w"), ("b", "w"))),
+        ]
+        choppable, graph = check_choppable(profiles)
+        assert not choppable
+        assert graph.has_sc_cycle()
+
+    def test_single_piece_transactions_never_cycle(self):
+        profiles = [
+            TransactionProfile("t1", accesses=(("a", "w"), ("b", "w"))),
+            TransactionProfile("t2", accesses=(("a", "w"), ("b", "w"))),
+        ]
+        choppable, _ = check_choppable(
+            profiles, pieces_per_transaction={"t1": 1, "t2": 1}
+        )
+        assert choppable
+
+
+class TestTPCCProfilesMatchProcedures:
+    """The declared profiles must reflect what the procedures actually touch."""
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_profile_tables_exist_in_schema(self, name):
+        from repro.workloads.tpcc.schema import TABLES
+
+        for table in PROFILES[name].tables():
+            assert table in TABLES
+
+    def test_read_only_flags(self):
+        assert PROFILES["order_status"].read_only
+        assert PROFILES["stock_level"].read_only
+        assert not PROFILES["new_order"].read_only
+        assert not PROFILES["hot_item"].read_only
+
+    def test_workload_registers_expected_types(self):
+        workload = TPCCWorkload(warehouses=1)
+        assert set(workload.transaction_types()) == {
+            "new_order",
+            "payment",
+            "delivery",
+            "order_status",
+            "stock_level",
+        }
+        with_hot = TPCCWorkload(warehouses=1, include_hot_item=True)
+        assert "hot_item" in with_hot.transaction_types()
+
+    def test_mix_sums_to_one(self):
+        workload = TPCCWorkload(warehouses=1)
+        assert sum(workload.mix().values()) == pytest.approx(1.0, abs=0.01)

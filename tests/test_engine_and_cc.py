@@ -1,0 +1,466 @@
+"""Engine lifecycle and CC-mechanism behaviour tests.
+
+These tests drive the engine with hand-crafted concurrent transaction
+schedules (via the simulation environment) and with the micro workloads, and
+assert both functional outcomes and the isolation oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.cc.base import CC_REGISTRY
+from repro.cc.locks import EXCLUSIVE, SHARED, LockTable
+from repro.cc.timestamps import BatchManager, TimestampOracle
+from repro.core.config import Configuration, leaf, monolithic, node
+from repro.core.engine import EngineOptions
+from repro.core.transaction import Transaction, TransactionStatus
+from repro.errors import ConfigurationError, TransactionAborted
+from repro.isolation import check_engine
+from repro.sim.environment import Environment
+from tests.conftest import build_engine, run_transactions
+
+
+def micro_requests(workload, count, seed=3):
+    rng = workload.make_rng(seed)
+    requests = []
+    for _ in range(count):
+        requests.append(workload.next_transaction(rng))
+    return requests
+
+
+class TestLockTable:
+    def _txn(self, txn_id):
+        return Transaction(txn_id=txn_id, txn_type="t")
+
+    def test_shared_locks_are_compatible(self, env):
+        locks = LockTable(env)
+        a, b = self._txn(1), self._txn(2)
+        assert locks.try_acquire(a, "k", SHARED)
+        assert locks.try_acquire(b, "k", SHARED)
+
+    def test_exclusive_conflicts(self, env):
+        locks = LockTable(env)
+        a, b = self._txn(1), self._txn(2)
+        assert locks.try_acquire(a, "k", EXCLUSIVE)
+        assert not locks.try_acquire(b, "k", SHARED)
+
+    def test_same_group_never_conflicts(self, env):
+        locks = LockTable(env, same_group=lambda x, y: True)
+        a, b = self._txn(1), self._txn(2)
+        assert locks.try_acquire(a, "k", EXCLUSIVE)
+        assert locks.try_acquire(b, "k", EXCLUSIVE)
+
+    def test_release_grants_waiter(self, env):
+        locks = LockTable(env, timeout=10)
+        a, b = self._txn(1), self._txn(2)
+        order = []
+
+        def holder():
+            yield from locks.acquire(a, "k", EXCLUSIVE)
+            yield env.timeout(1)
+            order.append(("release", env.now))
+            locks.release_all(a)
+
+        def waiter():
+            yield env.timeout(0.1)
+            yield from locks.acquire(b, "k", EXCLUSIVE)
+            order.append(("acquired", env.now))
+
+        env.process(holder())
+        env.process(waiter())
+        env.run()
+        assert order == [("release", 1.0), ("acquired", 1.0)]
+        assert b.dependencies == {1}
+
+    def test_lock_timeout_aborts(self, env):
+        locks = LockTable(env, timeout=0.5)
+        a, b = self._txn(1), self._txn(2)
+        outcome = []
+
+        def holder():
+            yield from locks.acquire(a, "k", EXCLUSIVE)
+            yield env.timeout(10)
+
+        def waiter():
+            yield env.timeout(0.1)
+            try:
+                yield from locks.acquire(b, "k", EXCLUSIVE)
+            except TransactionAborted as aborted:
+                outcome.append(aborted.reason)
+
+        env.process(holder())
+        env.process(waiter())
+        env.run(until=5)
+        assert outcome == ["deadlock-timeout"]
+        assert locks.timeout_count == 1
+
+    def test_cancel_waits_removes_queued_request(self, env):
+        locks = LockTable(env, timeout=10)
+        a, b = self._txn(1), self._txn(2)
+
+        def holder():
+            yield from locks.acquire(a, "k", EXCLUSIVE)
+            yield env.timeout(2)
+            locks.release_all(a)
+
+        def waiter():
+            yield env.timeout(0.1)
+            yield from locks.acquire(b, "k", EXCLUSIVE)
+
+        env.process(holder())
+        env.process(waiter())
+        env.run(until=1)
+        b.status = TransactionStatus.ABORTED
+        locks.cancel_waits(b)
+        assert locks.waiting("k") == 0
+
+    def test_upgrade_for_single_holder(self, env):
+        locks = LockTable(env)
+        a = self._txn(1)
+        assert locks.try_acquire(a, "k", SHARED)
+        assert locks.try_acquire(a, "k", EXCLUSIVE)
+        assert locks.holders("k")[a] == EXCLUSIVE
+
+
+class TestTimestamps:
+    def test_oracle_monotonic(self):
+        oracle = TimestampOracle()
+        values = [oracle.next() for _ in range(5)]
+        assert values == sorted(values)
+        assert oracle.last == values[-1]
+
+    def test_batch_manager_shares_timestamp_within_batch(self):
+        manager = BatchManager(TimestampOracle(), batch_size=3)
+        batch_a, ts_a = manager.admit("g1")
+        batch_b, ts_b = manager.admit("g1")
+        assert batch_a == batch_b
+        assert ts_a == ts_b
+
+    def test_batch_rotates_after_size(self):
+        manager = BatchManager(TimestampOracle(), batch_size=2)
+        first, _ = manager.admit("g1")
+        manager.admit("g1")
+        third, _ = manager.admit("g1")
+        assert third != first
+
+    def test_different_groups_get_different_batches(self):
+        manager = BatchManager(TimestampOracle(), batch_size=10)
+        batch_a, _ = manager.admit("g1")
+        batch_b, _ = manager.admit("g2")
+        assert batch_a != batch_b
+
+    def test_rotate_forces_new_batch(self):
+        manager = BatchManager(TimestampOracle(), batch_size=10)
+        first, _ = manager.admit("g1")
+        manager.rotate("g1")
+        second, _ = manager.admit("g1")
+        assert second != first
+
+
+class TestRegistry:
+    def test_all_paper_mechanisms_registered(self):
+        for name in ("2pl", "rp", "ssi", "tso", "none", "occ"):
+            assert name in CC_REGISTRY
+
+    def test_unknown_mechanism_rejected(self, env, noconflict_workload):
+        with pytest.raises(ConfigurationError):
+            build_engine(
+                env,
+                noconflict_workload,
+                monolithic("nonexistent", noconflict_workload.transaction_names()),
+            )
+
+
+class TestEngineLifecycle:
+    def test_commit_updates_store_and_stats(self, env, noconflict_workload):
+        engine = build_engine(
+            env, noconflict_workload, monolithic("2pl", ("write_only",))
+        )
+        outcomes, _ = run_transactions(env, engine, [("write_only", {"ids": [1, 2, 3, 4]})])
+        txn = outcomes[0]
+        assert txn.committed
+        assert engine.stats.commits == 1
+        assert engine.store.latest_committed(("payload", 2)).value == {"value": 2}
+
+    def test_unknown_transaction_type_rejected(self, env, noconflict_workload):
+        engine = build_engine(
+            env, noconflict_workload, monolithic("2pl", ("write_only",))
+        )
+        with pytest.raises(ConfigurationError):
+            engine.begin("not_registered")
+
+    def test_configuration_must_cover_all_types(self, env, micro_workload):
+        with pytest.raises(ConfigurationError):
+            build_engine(env, micro_workload, monolithic("2pl", ("group_a_update",)))
+
+    def test_user_abort_rolls_back(self, env, tiny_tpcc):
+        from repro.harness.configs import tpcc_monolithic_2pl
+
+        engine = build_engine(env, tiny_tpcc, tpcc_monolithic_2pl())
+
+        def aborting_client():
+            txn = engine.begin("payment", {"w_id": 1, "d_id": 1, "c_w_id": 1,
+                                           "c_d_id": 1, "c_id": 1, "h_amount": 5.0})
+            yield from engine.perform_write(txn, ("warehouse", 1), {"w_ytd": 99.0})
+            engine._finish_abort(txn, "user-abort")
+            return txn
+
+        process = env.process(aborting_client())
+        txn = env.run(until=process)
+        assert txn.aborted
+        assert engine.store.latest_committed(("warehouse", 1)).value["w_ytd"] == 0.0
+        assert engine.store.uncommitted_versions(("warehouse", 1)) == []
+
+    def test_concurrent_counter_increments_are_serializable(self, env, micro_workload):
+        engine = build_engine(
+            env,
+            micro_workload,
+            monolithic("2pl", micro_workload.transaction_names()),
+        )
+        count = 30
+        requests = [
+            ("group_a_update", {"shared_id": 0, "local_id": 0, "cold_ids": [i % 50 for i in range(5)]})
+            for i in range(count)
+        ]
+        outcomes, _ = run_transactions(env, engine, requests)
+        committed = [t for t in outcomes if isinstance(t, object) and getattr(t, "committed", False)]
+        final = engine.store.latest_committed(("shared", 0)).value["value"]
+        assert final == len(committed)
+        report = check_engine(engine)
+        assert report.ok, report.describe()
+
+    @pytest.mark.parametrize("cc", ["2pl", "ssi", "rp", "tso", "occ"])
+    def test_every_mechanism_produces_serializable_histories(self, cc, micro_workload):
+        env = Environment()
+        engine = build_engine(
+            env,
+            micro_workload,
+            monolithic(cc, micro_workload.transaction_names()),
+            options=EngineOptions(charge_costs=True, lock_timeout=0.2, commit_wait_timeout=0.4),
+        )
+        requests = micro_requests(micro_workload, 60, seed=5)
+        outcomes, _ = run_transactions(env, engine, requests)
+        assert engine.stats.commits > 0
+        report = check_engine(engine)
+        assert report.ok, f"{cc}: {report.describe()}"
+
+    @pytest.mark.parametrize(
+        "config_name", ["2pl", "ssi", "two-layer", "three-layer"]
+    )
+    def test_hierarchies_produce_serializable_histories(
+        self, config_name, micro_configs
+    ):
+        from repro.workloads.micro import CrossGroupConflictWorkload
+
+        env = Environment()
+        read_only = config_name == "three-layer"
+        workload = CrossGroupConflictWorkload(
+            shared_rows=5, cold_rows=50, read_only_second_group=read_only
+        )
+        engine = build_engine(
+            env,
+            workload,
+            micro_configs[config_name]
+            if not read_only
+            else micro_configs["three-layer"],
+            options=EngineOptions(charge_costs=True, lock_timeout=0.2, commit_wait_timeout=0.4),
+        )
+        requests = micro_requests(workload, 80, seed=11)
+        run_transactions(env, engine, requests)
+        assert engine.stats.commits > 0
+        report = check_engine(engine)
+        assert report.ok, f"{config_name}: {report.describe()}"
+
+    def test_read_your_own_writes(self, env, tiny_tpcc):
+        from repro.harness.configs import tpcc_tebaldi_3layer
+
+        engine = build_engine(env, tiny_tpcc, tpcc_tebaldi_3layer())
+        outcomes, _ = run_transactions(
+            env,
+            engine,
+            [("new_order", {"w_id": 1, "d_id": 1, "c_id": 1, "items": [(1, 1, 2), (2, 1, 1)]})],
+        )
+        txn = outcomes[0]
+        assert txn.committed
+        order_key = ("orders", (1, 1, txn.result["o_id"]))
+        assert engine.store.latest_committed(order_key) is not None
+
+    def test_ssi_aborts_on_write_write_conflict(self, env, micro_workload):
+        engine = build_engine(
+            env,
+            micro_workload,
+            monolithic("ssi", micro_workload.transaction_names()),
+            options=EngineOptions(charge_costs=True),
+        )
+        # Two clients updating the same shared row concurrently: SSI's
+        # first-updater-wins rule must abort one of them.
+        args = {"shared_id": 0, "local_id": 0, "cold_ids": [1, 2, 3, 4, 5]}
+        outcomes, _ = run_transactions(
+            env,
+            engine,
+            [("group_a_update", args), ("group_a_update", dict(args))],
+        )
+        aborted = [o for o in outcomes if isinstance(o, TransactionAborted)]
+        assert len(aborted) == 1
+        assert "ssi" in aborted[0].reason
+
+    def test_2pl_blocks_instead_of_aborting(self, env, micro_workload):
+        engine = build_engine(
+            env,
+            micro_workload,
+            monolithic("2pl", micro_workload.transaction_names()),
+            options=EngineOptions(charge_costs=True),
+        )
+        args = {"shared_id": 0, "local_id": 0, "cold_ids": [1, 2, 3, 4, 5]}
+        outcomes, _ = run_transactions(
+            env,
+            engine,
+            [("group_a_update", args), ("group_a_update", dict(args))],
+        )
+        assert all(getattr(o, "committed", False) for o in outcomes)
+        assert engine.store.latest_committed(("shared", 0)).value["value"] == 2
+
+    def test_rp_exposes_intermediate_state_in_group(self, env):
+        """Under RP the second writer reads the first writer's step-committed value."""
+        from repro.workloads.micro import CrossGroupConflictWorkload
+
+        workload = CrossGroupConflictWorkload(shared_rows=1, cold_rows=50)
+        engine = build_engine(
+            env,
+            workload,
+            monolithic("rp", workload.transaction_names()),
+            options=EngineOptions(charge_costs=True),
+        )
+        args = {"shared_id": 0, "local_id": 0, "cold_ids": [1, 2, 3, 4, 5]}
+        outcomes, _ = run_transactions(
+            env,
+            engine,
+            [("group_a_update", args), ("group_b_update", dict(args))],
+        )
+        committed = [o for o in outcomes if getattr(o, "committed", False)]
+        assert len(committed) == 2
+        assert engine.store.latest_committed(("shared", 0)).value["value"] == 2
+        assert check_engine(engine).ok
+
+    def test_gc_epoch_assignment(self, env, noconflict_workload):
+        engine = build_engine(
+            env, noconflict_workload, monolithic("2pl", ("write_only",))
+        )
+        txn = engine.begin("write_only", {"ids": [1]})
+        assert txn.gc_epoch == engine.gc.current_epoch
+
+    def test_durability_logs_written_when_enabled(self, env, noconflict_workload):
+        options = EngineOptions(charge_costs=False)
+        options.durability.enabled = True
+        options.durability.asynchronous = False
+        engine = build_engine(
+            env, noconflict_workload, monolithic("2pl", ("write_only",)), options=options
+        )
+        outcomes, _ = run_transactions(env, engine, [("write_only", {"ids": [1, 2]})])
+        assert outcomes[0].committed
+        assert engine.durability.records_written > 0
+        recovery = engine.durability.recover()
+        assert outcomes[0].txn_id in recovery.recovered_transactions
+
+
+class TestPartitionByInstance:
+    def test_partitioned_leaf_creates_one_instance_per_value(self, env):
+        from repro.workloads.seats import SEATSWorkload
+        from repro.harness.configs import seats_3layer
+
+        workload = SEATSWorkload(flights=4, seats_per_flight=50, customers=50)
+        engine = build_engine(env, workload, seats_3layer(per_flight=True))
+        requests = [
+            ("new_reservation", {"f_id": 1, "c_id": 1, "seat": 1, "price": 10.0}),
+            ("new_reservation", {"f_id": 2, "c_id": 2, "seat": 1, "price": 10.0}),
+            ("new_reservation", {"f_id": 2, "c_id": 3, "seat": 2, "price": 10.0}),
+        ]
+        outcomes, _ = run_transactions(env, engine, requests)
+        assert all(getattr(o, "committed", False) for o in outcomes)
+        tso_nodes = [n for n in engine.nodes if n.spec.cc == "tso"]
+        assert len(tso_nodes) == 1
+        assert len(tso_nodes[0].cc.instances()) == 2  # flights 1 and 2
+
+    def test_partition_on_internal_node_rejected(self, env, micro_workload):
+        spec = node("2pl", leaf("rp", "group_a_update"), leaf("rp", "group_b_update"))
+        spec.instance_key = lambda args: 1
+        with pytest.raises(ConfigurationError):
+            build_engine(env, micro_workload, Configuration(spec))
+
+
+class TestReconfiguration:
+    def _engine(self, env, micro_workload):
+        config = Configuration(
+            node("ssi", leaf("none", "group_b_read"), leaf("2pl", "group_a_update")),
+            name="initial",
+        )
+        from repro.workloads.micro import CrossGroupConflictWorkload
+
+        workload = CrossGroupConflictWorkload(
+            shared_rows=5, cold_rows=50, read_only_second_group=True
+        )
+        return workload, build_engine(env, workload, config)
+
+    def test_partial_restart_swaps_configuration(self, env, micro_workload):
+        workload, engine = self._engine(env, micro_workload)
+        new_config = Configuration(
+            node("ssi", leaf("none", "group_b_read"), leaf("rp", "group_a_update")),
+            name="after",
+        )
+
+        def reconfigure():
+            yield from engine.reconfigure_partial_restart(new_config)
+
+        process = env.process(reconfigure())
+        env.run(until=process)
+        assert engine.configuration.name == "after"
+        assert engine.configuration.leaf_for("group_a_update").cc == "rp"
+
+    def test_online_update_swaps_only_changed_subtree(self, env, micro_workload):
+        workload, engine = self._engine(env, micro_workload)
+        old_root_cc = engine.root.cc
+        new_config = Configuration(
+            node("ssi", leaf("none", "group_b_read"), leaf("rp", "group_a_update")),
+            name="after-online",
+        )
+
+        def reconfigure():
+            yield from engine.reconfigure_online(new_config)
+
+        process = env.process(reconfigure())
+        env.run(until=process)
+        assert engine.configuration.name == "after-online"
+        # The root node object is preserved (only the changed leaf is swapped).
+        assert engine.root.cc is old_root_cc
+        assert engine.configuration.leaf_for("group_a_update").cc == "rp"
+
+    def test_online_update_identical_configuration_is_noop(self, env, micro_workload):
+        workload, engine = self._engine(env, micro_workload)
+        same = engine.configuration.clone(name="same")
+
+        def reconfigure():
+            yield from engine.reconfigure_online(same)
+
+        process = env.process(reconfigure())
+        env.run(until=process)
+        assert engine.configuration.name == "same"
+
+    def test_transactions_work_after_reconfiguration(self, env, micro_workload):
+        workload, engine = self._engine(env, micro_workload)
+        new_config = Configuration(
+            node("ssi", leaf("none", "group_b_read"), leaf("rp", "group_a_update")),
+            name="after",
+        )
+
+        def scenario():
+            yield from engine.reconfigure_online(new_config)
+            txn = yield from engine.execute_transaction(
+                "group_a_update",
+                {"shared_id": 0, "local_id": 0, "cold_ids": [1, 2, 3, 4, 5]},
+            )
+            return txn
+
+        process = env.process(scenario())
+        txn = env.run(until=process)
+        assert txn.committed

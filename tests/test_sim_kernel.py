@@ -1,0 +1,304 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.environment import Environment
+from repro.sim.events import Event, any_of
+from repro.sim.network import ClusterModel, CostModel, NetworkModel
+from repro.sim.resources import Condition, Resource, WaitQueue
+
+
+class TestEvents:
+    def test_event_starts_pending(self, env):
+        event = env.event("e")
+        assert not event.triggered
+
+    def test_succeed_sets_value(self, env):
+        event = env.event("e").succeed(42)
+        assert event.triggered and event.ok
+        assert event.value == 42
+
+    def test_double_trigger_raises(self, env):
+        event = env.event("e").succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_fail_requires_exception(self, env):
+        event = env.event("e")
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+    def test_fail_marks_error(self, env):
+        event = env.event("e").fail(ValueError("boom"))
+        assert event.triggered and not event.ok
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            _ = env.event("e").value
+
+    def test_negative_timeout_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+
+class TestProcesses:
+    def test_process_advances_time(self, env):
+        log = []
+
+        def proc():
+            yield env.timeout(1.5)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [1.5]
+
+    def test_process_return_value(self, env):
+        def proc():
+            yield env.timeout(1)
+            return "done"
+
+        process = env.process(proc())
+        assert env.run(until=process) == "done"
+
+    def test_yield_from_composition(self, env):
+        def inner():
+            yield env.timeout(1)
+            return 10
+
+        def outer():
+            value = yield from inner()
+            yield env.timeout(1)
+            return value + 1
+
+        process = env.process(outer())
+        assert env.run(until=process) == 11
+        assert env.now == pytest.approx(2.0)
+
+    def test_waiting_on_another_process(self, env):
+        def child():
+            yield env.timeout(2)
+            return "child-result"
+
+        def parent():
+            child_process = env.process(child())
+            result = yield child_process
+            return result
+
+        process = env.process(parent())
+        assert env.run(until=process) == "child-result"
+
+    def test_exception_propagates_to_waiter(self, env):
+        def child():
+            yield env.timeout(1)
+            raise ValueError("child failed")
+
+        def parent():
+            try:
+                yield env.process(child())
+            except ValueError:
+                return "caught"
+            return "not caught"
+
+        process = env.process(parent())
+        assert env.run(until=process) == "caught"
+
+    def test_unwaited_exception_surfaces(self, env):
+        def proc():
+            yield env.timeout(1)
+            raise RuntimeError("unobserved")
+
+        env.process(proc())
+        with pytest.raises(RuntimeError):
+            env.run()
+
+    def test_yielding_non_event_fails_process(self, env):
+        def proc():
+            yield "not an event"
+
+        def parent():
+            try:
+                yield env.process(proc())
+            except SimulationError:
+                return "rejected"
+
+        process = env.process(parent())
+        assert env.run(until=process) == "rejected"
+
+    def test_run_until_time_horizon(self, env):
+        ticks = []
+
+        def proc():
+            while True:
+                yield env.timeout(1)
+                ticks.append(env.now)
+
+        env.process(proc())
+        env.run(until=3.5)
+        assert ticks == [1, 2, 3]
+        assert env.now == 3.5
+
+    def test_events_fire_in_time_order(self, env):
+        order = []
+
+        def make(delay, label):
+            def proc():
+                yield env.timeout(delay)
+                order.append(label)
+
+            return proc
+
+        env.process(make(3, "c")())
+        env.process(make(1, "a")())
+        env.process(make(2, "b")())
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_interrupt_wakes_process(self, env):
+        from repro.sim.events import Interrupt
+
+        outcome = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                outcome.append(interrupt.cause)
+
+        process = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(1)
+            process.interrupt("wake up")
+
+        env.process(interrupter())
+        env.run()
+        assert outcome == ["wake up"]
+
+    def test_any_of_returns_first(self, env):
+        def proc():
+            first = env.timeout(5, value="slow")
+            second = env.timeout(1, value="fast")
+            index, value = yield any_of(env, [first, second])
+            return index, value
+
+        process = env.process(proc())
+        assert env.run(until=process) == (1, "fast")
+
+
+class TestResources:
+    def test_wait_queue_notify_one(self, env):
+        queue = WaitQueue(env, "q")
+        results = []
+
+        def waiter(label):
+            value = yield from queue.wait()
+            results.append((label, value))
+
+        env.process(waiter("a"))
+        env.process(waiter("b"))
+
+        def notifier():
+            yield env.timeout(1)
+            queue.notify_one("first")
+            yield env.timeout(1)
+            queue.notify_all("rest")
+
+        env.process(notifier())
+        env.run()
+        assert ("a", "first") in results
+        assert len(results) == 2
+
+    def test_wait_queue_fail_all(self, env):
+        queue = WaitQueue(env, "q")
+        caught = []
+
+        def waiter():
+            try:
+                yield from queue.wait()
+            except RuntimeError:
+                caught.append(True)
+
+        env.process(waiter())
+
+        def failer():
+            yield env.timeout(1)
+            queue.fail_all(RuntimeError("cancelled"))
+
+        env.process(failer())
+        env.run()
+        assert caught == [True]
+
+    def test_condition_broadcast(self, env):
+        condition = Condition(env, "c")
+        woken = []
+
+        def waiter(label):
+            yield from condition.wait()
+            woken.append(label)
+
+        for label in "abc":
+            env.process(waiter(label))
+
+        def notifier():
+            yield env.timeout(1)
+            condition.notify_all()
+
+        env.process(notifier())
+        env.run()
+        assert sorted(woken) == ["a", "b", "c"]
+
+    def test_resource_limits_concurrency(self, env):
+        resource = Resource(env, capacity=2, name="cpu")
+        finish_times = []
+
+        def worker():
+            yield from resource.use(1.0)
+            finish_times.append(env.now)
+
+        for _ in range(4):
+            env.process(worker())
+        env.run()
+        # Two run in [0,1], the next two in [1,2].
+        assert sorted(finish_times) == [1.0, 1.0, 2.0, 2.0]
+
+    def test_resource_release_requires_use(self, env):
+        resource = Resource(env, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_resource_capacity_validation(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+
+class TestClusterModel:
+    def test_network_round_trip_cost(self):
+        network = NetworkModel(rtt=0.001)
+        assert network.round_trip() == pytest.approx(0.001)
+
+    def test_cost_model_scales_with_layers(self):
+        costs = CostModel(operation_cpu=10e-6, cc_layer_cpu=2e-6)
+        assert costs.operation_cost(3) == pytest.approx(16e-6)
+        assert costs.operation_cost(1) < costs.operation_cost(4)
+
+    def test_cluster_compute_consumes_time(self, env):
+        cluster = ClusterModel(env, cpu_slots=1)
+
+        def proc():
+            yield from cluster.compute(0.5)
+            return env.now
+
+        process = env.process(proc())
+        assert env.run(until=process) == pytest.approx(0.5)
+
+    def test_cluster_network_delay(self, env):
+        cluster = ClusterModel(env)
+
+        def proc():
+            yield from cluster.network_delay(round_trips=2)
+            return env.now
+
+        process = env.process(proc())
+        assert env.run(until=process) == pytest.approx(2 * cluster.network.rtt)

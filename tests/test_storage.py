@@ -1,0 +1,344 @@
+"""Tests for the multi-version store, tables, WAL, durability and GC."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.transaction import Transaction
+from repro.errors import StorageError
+from repro.storage.backends import FileBackend, InMemoryBackend
+from repro.storage.durability import DurabilityConfig, DurabilityManager
+from repro.storage.gc import GarbageCollector
+from repro.storage.mvstore import MultiVersionStore
+from repro.storage.tables import Catalog, Table, TableSchema, composite_key
+from repro.storage.wal import LogRecord, WriteAheadLog
+
+
+def make_txn(txn_id, txn_type="t"):
+    return Transaction(txn_id=txn_id, txn_type=txn_type)
+
+
+class TestMultiVersionStore:
+    def test_load_creates_committed_version(self, store):
+        version = store.load(("t", 1), {"v": 1})
+        assert version.committed
+        assert store.latest_committed(("t", 1)).value == {"v": 1}
+
+    def test_install_is_uncommitted(self, store):
+        txn = make_txn(1)
+        version = store.install(("t", 1), {"v": 2}, txn)
+        assert not version.committed
+        assert store.latest_committed(("t", 1)) is None
+        assert store.uncommitted_versions(("t", 1)) == [version]
+
+    def test_reinstall_overwrites_own_version(self, store):
+        txn = make_txn(1)
+        store.install(("t", 1), {"v": 1}, txn)
+        store.install(("t", 1), {"v": 2}, txn)
+        assert len(store.uncommitted_versions(("t", 1))) == 1
+        assert store.uncommitted_versions(("t", 1))[0].value == {"v": 2}
+
+    def test_commit_moves_versions(self, store):
+        txn = make_txn(1)
+        store.install(("t", 1), {"v": 1}, txn)
+        committed = store.commit_transaction(txn, timestamp=5)
+        assert len(committed) == 1
+        assert store.latest_committed(("t", 1)).timestamp == 5
+        assert store.uncommitted_versions(("t", 1)) == []
+
+    def test_abort_discards_versions(self, store):
+        txn = make_txn(1)
+        store.install(("t", 1), {"v": 1}, txn)
+        assert store.abort_transaction(txn) == 1
+        assert store.latest_committed(("t", 1)) is None
+        assert store.uncommitted_versions(("t", 1)) == []
+
+    def test_commit_seq_is_monotonic(self, store):
+        seqs = []
+        for txn_id in range(1, 5):
+            txn = make_txn(txn_id)
+            store.install(("t", txn_id), {"v": txn_id}, txn)
+            seqs.extend(v.commit_seq for v in store.commit_transaction(txn))
+        assert seqs == sorted(seqs)
+        assert store.last_commit_seq() == seqs[-1]
+
+    def test_latest_committed_before_timestamp(self, store):
+        for ts in (1, 5, 9):
+            txn = make_txn(ts)
+            store.install(("t", 1), {"v": ts}, txn)
+            store.commit_transaction(txn, timestamp=ts)
+        assert store.latest_committed_before(("t", 1), 6).value == {"v": 5}
+        assert store.latest_committed_before(("t", 1), 1) is None
+        assert store.latest_committed_before(("t", 1), 100).value == {"v": 9}
+
+    def test_latest_committed_before_strictness(self, store):
+        txn = make_txn(1)
+        store.install(("t", 1), {"v": 1}, txn)
+        store.commit_transaction(txn, timestamp=5)
+        assert store.latest_committed_before(("t", 1), 5, strict=True) is None
+        assert store.latest_committed_before(("t", 1), 5, strict=False) is not None
+
+    def test_own_uncommitted(self, store):
+        txn = make_txn(1)
+        other = make_txn(2)
+        store.install(("t", 1), {"v": 1}, txn)
+        store.install(("t", 1), {"v": 2}, other)
+        assert store.own_uncommitted(("t", 1), 1).value == {"v": 1}
+        assert store.own_uncommitted(("t", 1), 3) is None
+
+    def test_version_by_writer_finds_committed(self, store):
+        txn = make_txn(1)
+        store.install(("t", 1), {"v": 1}, txn)
+        store.commit_transaction(txn)
+        assert store.version_by_writer(("t", 1), 1).committed
+
+    def test_prune_keeps_latest(self, store):
+        for txn_id in range(1, 6):
+            txn = make_txn(txn_id)
+            store.install(("t", 1), {"v": txn_id}, txn)
+            store.commit_transaction(txn)
+        removed = store.prune(("t", 1), keep_last=2)
+        assert removed == 3
+        assert len(store.committed_versions(("t", 1))) == 2
+        assert store.latest_committed(("t", 1)).value == {"v": 5}
+
+    def test_prune_requires_positive_keep(self, store):
+        with pytest.raises(StorageError):
+            store.prune(("t", 1), keep_last=0)
+
+    def test_prune_epochs_respects_epoch(self, store):
+        for txn_id, epoch in ((1, 1), (2, 1), (3, 2)):
+            txn = make_txn(txn_id)
+            txn.gc_epoch = epoch
+            store.install(("t", 1), {"v": txn_id}, txn)
+            store.commit_transaction(txn)
+        removed = store.prune_epochs(max_epoch=1)
+        assert removed == 2
+        assert store.latest_committed(("t", 1)).value == {"v": 3}
+
+    def test_latest_state_snapshot(self, store):
+        store.load(("t", 1), {"v": 1})
+        store.load(("t", 2), {"v": 2})
+        txn = make_txn(9)
+        store.install(("t", 1), {"v": 10}, txn)
+        store.commit_transaction(txn)
+        assert store.latest_state() == {("t", 1): {"v": 10}, ("t", 2): {"v": 2}}
+
+    @given(st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_version_chain_order_matches_commit_order(self, writer_ids):
+        store = MultiVersionStore()
+        expected = []
+        for index, writer in enumerate(writer_ids, start=1):
+            txn = make_txn(index, txn_type=f"w{writer}")
+            store.install(("k",), {"v": index}, txn)
+            store.commit_transaction(txn)
+            expected.append(index)
+        chain = store.committed_versions(("k",))
+        assert [v.writer for v in chain] == expected
+        assert [v.commit_seq for v in chain] == sorted(v.commit_seq for v in chain)
+
+
+class TestTables:
+    def test_composite_key_single_part(self):
+        assert composite_key("t", 5) == ("t", 5)
+
+    def test_composite_key_multi_part(self):
+        assert composite_key("t", 1, 2) == ("t", (1, 2))
+
+    def test_schema_key_validation(self):
+        schema = TableSchema("t", ("a", "b"))
+        with pytest.raises(ValueError):
+            schema.key_for(1)
+
+    def test_table_load_into_store(self, store):
+        table = Table(TableSchema("t", ("id",)))
+        table.insert((1,), {"v": 1})
+        table.insert((2,), {"v": 2})
+        assert table.load_into(store) == 2
+        assert store.latest_committed(("t", 1)).value == {"v": 1}
+
+    def test_catalog_lookup_and_load(self, store):
+        table = Table(TableSchema("t", ("id",)))
+        table.insert((1,), {"v": 1})
+        catalog = Catalog([table])
+        assert "t" in catalog
+        assert catalog["t"] is table
+        assert catalog.load_into(store) == 1
+        assert catalog.table_names() == ["t"]
+
+
+class TestBackends:
+    def test_in_memory_roundtrip(self):
+        backend = InMemoryBackend()
+        backend.put("a", {"x": 1})
+        assert backend.get("a") == {"x": 1}
+        assert backend.get("missing", "default") == "default"
+        assert backend.scan("a") == [("a", {"x": 1})]
+
+    def test_file_backend_persists(self, tmp_path):
+        path = str(tmp_path / "wal" / "log.jsonl")
+        backend = FileBackend(path)
+        backend.put("k1", {"v": 1})
+        backend.put("k2", {"v": 2})
+        backend.close()
+        reopened = FileBackend(path)
+        assert reopened.get("k1") == {"v": 1}
+        assert len(reopened) == 2
+        reopened.close()
+
+    def test_file_backend_latest_value_wins(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        backend = FileBackend(path)
+        backend.put("k", 1)
+        backend.put("k", 2)
+        backend.close()
+        assert FileBackend(path).get("k") == 2
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_lsn(self):
+        wal = WriteAheadLog(0, InMemoryBackend())
+        first = wal.append(LogRecord(kind="operation", txn_id=1, server_id=0))
+        second = wal.append(LogRecord(kind="operation", txn_id=2, server_id=0))
+        assert (first.lsn, second.lsn) == (1, 2)
+        assert wal.pending == 2
+
+    def test_flush_persists_records(self):
+        wal = WriteAheadLog(0, InMemoryBackend())
+        wal.append(LogRecord(kind="precommit", txn_id=1, server_id=0, gcp_epoch=1))
+        assert wal.flush() == 1
+        assert wal.pending == 0
+        records = wal.persisted_records()
+        assert len(records) == 1 and records[0].txn_id == 1
+
+    def test_flush_up_to_epoch(self):
+        wal = WriteAheadLog(0, InMemoryBackend())
+        wal.append(LogRecord(kind="precommit", txn_id=1, server_id=0, gcp_epoch=1))
+        wal.append(LogRecord(kind="precommit", txn_id=2, server_id=0, gcp_epoch=2))
+        assert wal.flush(up_to_epoch=1) == 1
+        assert wal.pending == 1
+
+
+class TestDurability:
+    def _manager(self, asynchronous=True):
+        return DurabilityManager(
+            DurabilityConfig(enabled=True, asynchronous=asynchronous, num_servers=2)
+        )
+
+    def test_disabled_manager_is_noop(self):
+        manager = DurabilityManager(DurabilityConfig(enabled=False))
+        txn = make_txn(1)
+        assert manager.precommit(txn, [(("t", 1), {"v": 1})]) == 0
+        assert manager.flush_delay() == 0.0
+
+    def test_precommit_writes_one_record_per_server(self):
+        manager = self._manager(asynchronous=False)
+        txn = make_txn(1)
+        writes = [(("a", 1), {"v": 1}), (("b", 2), {"v": 2})]
+        manager.precommit(txn, writes)
+        total = sum(len(log.persisted_records()) for log in manager.logs)
+        assert total >= 1
+        assert manager.records_written >= 1
+
+    def test_synchronous_precommit_is_durable_immediately(self):
+        manager = self._manager(asynchronous=False)
+        txn = make_txn(7)
+        manager.precommit(txn, [(("a", 1), {"v": 7})])
+        result = manager.recover()
+        assert 7 in result.recovered_transactions
+        assert result.state.get(repr(("a", 1))) == {"v": 7}
+
+    def test_async_needs_gcp_flush_to_be_durable(self):
+        manager = self._manager(asynchronous=True)
+        txn = make_txn(8)
+        manager.precommit(txn, [(("a", 1), {"v": 8})])
+        assert 8 not in manager.recover().recovered_transactions
+        manager.advance_gcp_epoch()
+        assert 8 in manager.recover().recovered_transactions
+
+    def test_recovery_latest_write_wins(self):
+        manager = self._manager(asynchronous=False)
+        for txn_id, value in ((1, 10), (2, 20)):
+            manager.precommit(make_txn(txn_id), [(("a", 1), {"v": value})])
+        result = manager.recover()
+        assert result.state[repr(("a", 1))] == {"v": 20}
+
+    def test_commit_notification_advances_lagging_epochs(self):
+        manager = self._manager()
+        manager._current_gcp_epoch = [1, 3]
+        manager.commit_notification(make_txn(1), global_epoch=3)
+        assert manager._current_gcp_epoch == [3, 3]
+
+    def test_wait_durable(self, env):
+        manager = self._manager(asynchronous=True)
+        txn = make_txn(5)
+        epoch = manager.precommit(txn, [(("a", 1), {"v": 5})])
+        outcomes = []
+
+        def waiter():
+            value = yield from manager.wait_durable(env, epoch)
+            outcomes.append(value)
+
+        def flusher():
+            yield env.timeout(1)
+            manager.advance_gcp_epoch()
+
+        env.process(waiter())
+        env.process(flusher())
+        env.run()
+        assert outcomes and outcomes[0] >= epoch
+
+    def test_recovery_result_require_transaction(self):
+        from repro.errors import RecoveryError
+        from repro.storage.durability import RecoveryResult
+
+        result = RecoveryResult(recovered_transactions={1}, discarded_transactions=set(), state={})
+        assert result.require_transaction(1)
+        with pytest.raises(RecoveryError):
+            result.require_transaction(2)
+
+
+class TestGarbageCollector:
+    def test_register_assigns_epoch(self, store):
+        gc = GarbageCollector(store)
+        txn = make_txn(1)
+        assert gc.register_transaction(txn) == gc.current_epoch
+
+    def test_collect_prunes_finished_epochs(self, store):
+        gc = GarbageCollector(store)
+        txn = make_txn(1)
+        gc.register_transaction(txn)
+        store.install(("k",), {"v": 1}, txn)
+        store.commit_transaction(txn)
+        # A newer version in a later epoch supersedes the old one.
+        gc.advance_epoch()
+        txn2 = make_txn(2)
+        gc.register_transaction(txn2)
+        store.install(("k",), {"v": 2}, txn2)
+        store.commit_transaction(txn2)
+        gc.finish_transaction(txn)
+        gc.finish_transaction(txn2)
+        gc.advance_epoch()
+        removed = gc.collect(cc_nodes=())
+        assert removed >= 1
+        assert store.latest_committed(("k",)).value == {"v": 2}
+
+    def test_collect_respects_cc_veto(self, store):
+        class VetoCC:
+            def can_garbage_collect(self, epoch):
+                return False
+
+        gc = GarbageCollector(store)
+        txn = make_txn(1)
+        gc.register_transaction(txn)
+        store.install(("k",), {"v": 1}, txn)
+        store.commit_transaction(txn)
+        gc.finish_transaction(txn)
+        gc.advance_epoch()
+        assert gc.collect(cc_nodes=(VetoCC(),)) == 0
+
+    def test_paused_collector_does_nothing(self, store):
+        gc = GarbageCollector(store)
+        gc.pause()
+        assert gc.collect() == 0
+        gc.resume()
