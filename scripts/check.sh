@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: unit/property tests plus the quick speed smoke.
+#
+# Usage: scripts/check.sh
+#
+# The speed smoke (benchmarks/bench_speed.py --quick) runs tiny versions of
+# the three benchmark scenarios and verifies the fixed-seed behavior
+# fingerprint against the recorded baseline in BENCH_speed.json, so both
+# functional and performance regressions fail loudly.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== speed smoke (quick) =="
+python benchmarks/bench_speed.py --quick
+
+echo
+echo "check.sh: all good"

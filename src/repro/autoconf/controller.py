@@ -114,8 +114,11 @@ class AutoConfigurator:
             seed=self.seed,
             mix=self.mix,
         )
-        result = runner.run(self.clients, duration=self.duration, warmup=self.warmup)
-        runner.stop()
+        try:
+            result = runner.run(self.clients, duration=self.duration, warmup=self.warmup)
+        finally:
+            # Always stop: it also unfreezes the GC state frozen at construction.
+            runner.stop()
         return result, profiler
 
     # -- main loop ---------------------------------------------------------------------

@@ -2,9 +2,10 @@
 
 A CC mechanism participates in the four-phase execution protocol of
 Section 4.3.1.  Hooks that may need to block (waiting for locks, pipeline
-steps, dependent commits...) are written as generators and driven by the
-engine; hooks that never block are plain methods.  The engine accepts both —
-see :func:`as_coroutine`.
+steps, dependent commits...) return a coroutine (generator) for the engine
+to drive; hooks that never block are plain methods returning ``None``.  The
+engine drives exactly the non-``None`` results with ``yield from``, so a
+hook must return either ``None`` or an iterable — nothing else.
 """
 
 import inspect
@@ -22,6 +23,25 @@ def register_cc(cls):
     return cls
 
 
+_ACCEPTED_PARAMS = {}
+
+# Spec params that are cross-CC *annotations*: autoconf preprocessing records
+# them on a group spec, and the optimizer may later re-assign the spec's CC.
+# A mechanism that does not understand one simply does not receive it; every
+# other (i.e. user-provided) param is passed through verbatim, so typos still
+# fail fast with a TypeError.
+_ANNOTATION_PARAMS = frozenset({"pipeline_steps", "pipeline_efficiency", "promises"})
+
+
+def _accepted_params(cls):
+    accepted = _ACCEPTED_PARAMS.get(cls)
+    if accepted is None:
+        accepted = _ACCEPTED_PARAMS[cls] = frozenset(
+            inspect.signature(cls.__init__).parameters
+        ) - {"self", "engine", "node"}
+    return accepted
+
+
 def create_cc(name, engine, node, params=None):
     """Instantiate a registered CC mechanism for a runtime tree node."""
     try:
@@ -30,14 +50,15 @@ def create_cc(name, engine, node, params=None):
         raise ConfigurationError(
             f"unknown concurrency control {name!r}; known: {sorted(CC_REGISTRY)}"
         ) from None
-    return cls(engine, node, **(params or {}))
-
-
-def as_coroutine(result):
-    """Normalise a hook result so the engine can always ``yield from`` it."""
-    if inspect.isgenerator(result):
-        return result
-    return iter(())
+    if not params:
+        return cls(engine, node)
+    accepted = _accepted_params(cls)
+    kwargs = {
+        key: value
+        for key, value in params.items()
+        if key in accepted or key not in _ANNOTATION_PARAMS
+    }
+    return cls(engine, node, **kwargs)
 
 
 class ConcurrencyControl:
@@ -93,10 +114,18 @@ class ConcurrencyControl:
 
     def subtree_dependencies(self, txn):
         """Ids of ``txn``'s direct dependencies that belong to this subtree."""
+        dependencies = txn.dependencies
+        if not dependencies:
+            return dependencies
+        if self.node.parent is None:
+            # The root regulates every transaction type, so membership never
+            # filters anything (dependency ids always name real txns).
+            return set(dependencies)
         deps = set()
-        for dep_id in txn.dependencies:
+        subtree_types = self.node.subtree_types
+        for dep_id in dependencies:
             other = self.engine.find_transaction(dep_id)
-            if other is not None and self.node.is_member(other):
+            if other is not None and other.txn_type in subtree_types:
                 deps.add(dep_id)
         return deps
 
@@ -105,8 +134,9 @@ class ConcurrencyControl:
         return txn.state_for(self.node.node_id, factory)
 
     # -- four-phase protocol hooks ---------------------------------------------
-    # Top-down pass hooks may block (generators); bottom-up hooks are
-    # synchronous except validate/pre_commit which may also block.
+    # Top-down pass hooks may block (return a generator for the engine to
+    # drive, or None); bottom-up hooks are synchronous except
+    # validate/pre_commit which may also block.
 
     def start(self, txn):
         """Start phase, top-down: allocate metadata / timestamps / batches."""

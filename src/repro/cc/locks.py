@@ -5,10 +5,14 @@ Used by 2PL (transaction-duration locks) and runtime pipelining (step-duration
 locks).  The *same-group* predicate implements the nexus-lock behaviour of
 Modular Concurrency Control: transactions of the same child subtree never
 conflict at this node — their conflicts are delegated to the child CC.
+
+The table is on the per-operation hot path of every lock-based CC, so the
+uncontended acquire is allocation-free: lock records are keyed by transaction
+id (no Python-level ``__hash__`` dispatch), conflict detection avoids building
+lists until a block is certain, and records are only allocated on first use.
 """
 
 from collections import deque
-from dataclasses import dataclass, field
 
 from repro.errors import TransactionAborted
 from repro.sim.events import Event, any_of
@@ -18,21 +22,24 @@ SHARED = "S"
 EXCLUSIVE = "X"
 
 
-def _modes_compatible(held, requested):
-    return held == SHARED and requested == SHARED
-
-
-@dataclass
 class _LockRecord:
-    holders: dict = field(default_factory=dict)
-    queue: deque = field(default_factory=deque)
+    __slots__ = ("holders", "queue")
+
+    def __init__(self):
+        # txn_id -> (transaction, mode); keyed by id so the hot path never
+        # goes through Transaction.__hash__.
+        self.holders = {}
+        # Lazily allocated on first waiter: most records never see one.
+        self.queue = None
 
 
-@dataclass
 class _WaitRequest:
-    txn: object
-    mode: str
-    event: Event
+    __slots__ = ("txn", "mode", "event")
+
+    def __init__(self, txn, mode, event):
+        self.txn = txn
+        self.mode = mode
+        self.event = event
 
 
 class LockTable:
@@ -57,38 +64,51 @@ class LockTable:
         self._waiting_keys = {}
         self.block_count = 0
         self.timeout_count = 0
+        # Idle lock records are swept in batches (amortized O(1) per release)
+        # instead of deleted eagerly, which would re-allocate a record on the
+        # next access of the same key — the common case under step-locking.
+        self._sweep_threshold = 8192
 
     # -- introspection ------------------------------------------------------
 
     def holders(self, key):
         record = self._locks.get(key)
-        return dict(record.holders) if record else {}
+        if not record:
+            return {}
+        return {txn: mode for txn, mode in record.holders.values()}
 
     def held_keys(self, txn_id):
         return set(self._held_by_txn.get(txn_id, ()))
 
     def waiting(self, key):
         record = self._locks.get(key)
-        return len(record.queue) if record else 0
+        return len(record.queue) if record and record.queue else 0
 
     # -- core protocol --------------------------------------------------------
 
     def _conflicts(self, record, txn, mode):
-        """Transactions whose held locks conflict with ``txn`` requesting ``mode``."""
+        """Transactions whose held locks conflict with ``txn`` requesting ``mode``.
+
+        Mode compatibility is checked before the (Python-level) same-group
+        predicate, so shared readers piling onto a hot key skip it entirely.
+        """
         conflicting = []
-        for holder, held_mode in record.holders.items():
-            if holder.txn_id == txn.txn_id:
+        txn_id = txn.txn_id
+        for holder_id, (holder, held_mode) in record.holders.items():
+            if holder_id == txn_id:
+                continue
+            if held_mode == SHARED and mode == SHARED:
                 continue
             if self.same_group(txn, holder):
-                continue
-            if _modes_compatible(held_mode, mode):
                 continue
             conflicting.append(holder)
         return conflicting
 
     def try_acquire(self, txn, key, mode):
         """Non-blocking acquire; returns True on success."""
-        record = self._locks.setdefault(key, _LockRecord())
+        record = self._locks.get(key)
+        if record is None:
+            record = self._locks[key] = _LockRecord()
         if record.queue and not self._already_holds(record, txn, mode):
             return False
         if self._conflicts(record, txn, mode):
@@ -97,10 +117,49 @@ class LockTable:
         return True
 
     def _already_holds(self, record, txn, mode):
-        held = record.holders.get(txn)
-        if held is None:
+        entry = record.holders.get(txn.txn_id)
+        if entry is None:
             return False
+        held = entry[1]
         return held == EXCLUSIVE or held == mode
+
+    def request(self, txn, key, mode):
+        """Acquire if possible without waiting; otherwise return a coroutine.
+
+        Returns ``None`` when the lock was granted (or already held)
+        immediately — the caller skips the generator machinery entirely —
+        and a blocking coroutine (to ``yield from``) when the transaction
+        must queue.  This is the hot-path entry used by the CC hooks.
+        """
+        txn_id = txn.txn_id
+        record = self._locks.get(key)
+        if record is None:
+            record = self._locks[key] = _LockRecord()
+            holders = record.holders
+        else:
+            holders = record.holders
+            if holders:
+                entry = holders.get(txn_id)
+                if entry is not None:
+                    held = entry[1]
+                    if held == EXCLUSIVE or held == mode:
+                        return None
+                conflicting = self._conflicts(record, txn, mode)
+                if conflicting or record.queue:
+                    return self._blocking_acquire(txn, key, mode, record, conflicting)
+                self._grant(record, txn, key, mode)
+                return None
+            if record.queue:
+                # Idle holders but queued waiters (cancelled-wait leftovers):
+                # respect FIFO ordering.
+                return self._blocking_acquire(txn, key, mode, record, [])
+        # Fresh or idle record: grant inline (no conflicts, no upgrade).
+        holders[txn_id] = (txn, mode)
+        held_keys = self._held_by_txn.get(txn_id)
+        if held_keys is None:
+            held_keys = self._held_by_txn[txn_id] = set()
+        held_keys.add(key)
+        return None
 
     def acquire(self, txn, key, mode):
         """Coroutine: acquire the lock, blocking FIFO; abort on timeout.
@@ -109,13 +168,13 @@ class LockTable:
         (the lock orders ``txn`` after them), and every blocking interval is
         reported to the profiler for contention analysis.
         """
-        record = self._locks.setdefault(key, _LockRecord())
-        if self._already_holds(record, txn, mode):
-            return
-        conflicting = self._conflicts(record, txn, mode)
-        if not conflicting and not record.queue:
-            self._grant(record, txn, key, mode)
-            return
+        wait = self.request(txn, key, mode)
+        if wait is not None:
+            yield from wait
+
+    def _blocking_acquire(self, txn, key, mode, record, conflicting):
+        if record.queue is None:
+            record.queue = deque()
         blockers = conflicting or [req.txn for req in record.queue][-1:]
         blocker = blockers[0] if blockers else None
         if self.order_guard is not None:
@@ -126,7 +185,7 @@ class LockTable:
                     if self.profiler is not None:
                         self.profiler.record_abort(txn, "order-conflict", other)
                     raise TransactionAborted(txn.txn_id, "order-conflict")
-        request = _WaitRequest(txn=txn, mode=mode, event=Event(self.env, name=f"lock:{key}"))
+        request = _WaitRequest(txn=txn, mode=mode, event=Event(self.env, name="lock"))
         record.queue.append(request)
         self._waiting_keys.setdefault(txn.txn_id, set()).add(key)
         self.block_count += 1
@@ -170,48 +229,79 @@ class LockTable:
             raise TransactionAborted(txn.txn_id, "deadlock-timeout")
 
     def _grant(self, record, txn, key, mode):
-        held = record.holders.get(txn)
+        txn_id = txn.txn_id
+        entry = record.holders.get(txn_id)
+        held = entry[1] if entry is not None else None
         if held == EXCLUSIVE:
             mode = EXCLUSIVE
-        record.holders[txn] = EXCLUSIVE if (held == EXCLUSIVE or mode == EXCLUSIVE) else mode
-        self._held_by_txn.setdefault(txn.txn_id, set()).add(key)
+        record.holders[txn_id] = (
+            txn,
+            EXCLUSIVE if (held == EXCLUSIVE or mode == EXCLUSIVE) else mode,
+        )
+        held_keys = self._held_by_txn.get(txn_id)
+        if held_keys is None:
+            held_keys = self._held_by_txn[txn_id] = set()
+        held_keys.add(key)
 
     def release_all(self, txn):
         """Release every lock held by ``txn`` and grant eligible waiters."""
-        keys = self._held_by_txn.pop(txn.txn_id, set())
+        keys = self._held_by_txn.pop(txn.txn_id, None)
+        if keys is None:
+            return set()
         for key in keys:
             record = self._locks.get(key)
             if record is None:
                 continue
-            record.holders.pop(txn, None)
-            self._grant_from_queue(record, key)
-            self._drop_if_idle(key, record)
+            record.holders.pop(txn.txn_id, None)
+            if record.queue:
+                self._grant_from_queue(record, key)
+        self._maybe_sweep()
         return keys
 
     def release(self, txn, keys):
         """Release a specific set of keys (used by RP step-commit)."""
-        held = self._held_by_txn.get(txn.txn_id, set())
-        for key in list(keys):
+        held = self._held_by_txn.get(txn.txn_id)
+        if held is None:
+            return
+        for key in keys:
             if key not in held:
                 continue
             held.discard(key)
             record = self._locks.get(key)
             if record is None:
                 continue
-            record.holders.pop(txn, None)
-            self._grant_from_queue(record, key)
-            self._drop_if_idle(key, record)
+            record.holders.pop(txn.txn_id, None)
+            if record.queue:
+                self._grant_from_queue(record, key)
 
     def _drop_if_idle(self, key, record):
         if not record.holders and not record.queue:
             self._locks.pop(key, None)
+
+    def _maybe_sweep(self):
+        """Batch-drop idle lock records once the table grows large.
+
+        The threshold doubles after every sweep, so sweeps become geometric:
+        total sweep work is O(peak table size) over the whole run and hot
+        keys keep their records instead of re-allocating them per access.
+        """
+        if len(self._locks) <= self._sweep_threshold:
+            return
+        idle = [
+            key
+            for key, record in self._locks.items()
+            if not record.holders and not record.queue
+        ]
+        for key in idle:
+            del self._locks[key]
+        self._sweep_threshold = max(self._sweep_threshold * 2, 2 * len(self._locks))
 
     def cancel_waits(self, txn):
         """Drop any queued (not yet granted) requests of an aborting txn."""
         keys = self._waiting_keys.pop(txn.txn_id, ())
         for key in keys:
             record = self._locks.get(key)
-            if record is None:
+            if record is None or not record.queue:
                 continue
             record.queue = deque(req for req in record.queue if req.txn is not txn)
             self._drop_if_idle(key, record)

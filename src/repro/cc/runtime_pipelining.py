@@ -32,8 +32,21 @@ class RuntimePipelining(ConcurrencyControl):
     write_optimized = True
     extra_operation_rtts = 1  # per-operation coordination round-trip
 
-    def __init__(self, engine, node, steps=None, lock_timeout=None):
+    def __init__(
+        self,
+        engine,
+        node,
+        steps=None,
+        lock_timeout=None,
+        pipeline_steps=None,
+        pipeline_efficiency=None,
+    ):
+        # ``pipeline_steps`` / ``pipeline_efficiency`` are the spec params
+        # recorded by autoconf preprocessing (preprocess_runtime_pipelining);
+        # the efficiency is informational only.
         super().__init__(engine, node)
+        if steps is None:
+            steps = pipeline_steps
         timeout = lock_timeout if lock_timeout is not None else engine.options.lock_timeout
         self.locks = LockTable(
             engine.env,
@@ -56,12 +69,18 @@ class RuntimePipelining(ConcurrencyControl):
         self.progress = Condition(engine.env, name=f"rp-progress@{node.node_id}")
         self._active = {}
         self._step_committed = {}
+        # Flattened copies of the analysis lookup for the per-operation path.
+        self._table_to_step = dict(self.analysis.table_to_step)
+        self._last_step = max(self.analysis.num_steps - 1, 0)
 
     # -- helpers ------------------------------------------------------------------
 
     def _step_of_key(self, key):
         table = key[0] if isinstance(key, tuple) else key
-        return self.analysis.step_of(table)
+        step = self._table_to_step.get(table)
+        if step is not None:
+            return step
+        return self._last_step
 
     def _current_step(self, txn):
         return self.state(txn).get("step", -1)
@@ -76,26 +95,49 @@ class RuntimePipelining(ConcurrencyControl):
 
     # -- execution phase -----------------------------------------------------------------
 
+    # Hooks return ``None`` on the non-blocking fast path (same pipeline
+    # step, lock granted immediately) and a coroutine when the transaction
+    # has to advance a step or queue for a lock.
+
     def before_read(self, txn, key):
-        yield from self._pipelined_access(txn, key, SHARED)
+        return self._pipelined_access(txn, key, SHARED)
 
     def before_update_read(self, txn, key):
-        yield from self._pipelined_access(txn, key, EXCLUSIVE)
+        return self._pipelined_access(txn, key, EXCLUSIVE)
 
     def before_write(self, txn, key, value):
-        yield from self._pipelined_access(txn, key, EXCLUSIVE)
+        return self._pipelined_access(txn, key, EXCLUSIVE)
 
     def _pipelined_access(self, txn, key, mode):
         state = self.state(txn)
         target = self._step_of_key(key)
-        current = state.get("step", -1)
-        if target > current:
-            self._step_commit(txn, state)
-            state["step"] = target
-            self._signal_advance(txn, state)
-            yield from self._wait_for_pipeline(txn, target)
-        yield from self.locks.acquire(txn, key, mode)
-        state.setdefault("step_keys", set()).add(key)
+        if target > state.get("step", -1):
+            return self._advance_and_acquire(txn, key, mode, state, target)
+        wait = self.locks.request(txn, key, mode)
+        if wait is not None:
+            return self._acquire_and_track(key, state, wait)
+        step_keys = state.get("step_keys")
+        if step_keys is None:
+            step_keys = state["step_keys"] = set()
+        step_keys.add(key)
+        return None
+
+    def _acquire_and_track(self, key, state, wait):
+        yield from wait
+        step_keys = state.get("step_keys")
+        if step_keys is None:
+            step_keys = state["step_keys"] = set()
+        step_keys.add(key)
+
+    def _advance_and_acquire(self, txn, key, mode, state, target):
+        self._step_commit(txn, state)
+        state["step"] = target
+        self._signal_advance(txn, state)
+        yield from self._wait_for_pipeline(txn, target)
+        wait = self.locks.request(txn, key, mode)
+        if wait is not None:
+            yield from wait
+        state["step_keys"].add(key)
 
     def _signal_advance(self, txn, state=None):
         """Wake transactions waiting for this transaction's pipeline progress."""
@@ -110,7 +152,7 @@ class RuntimePipelining(ConcurrencyControl):
         state = self.state(txn)
         event = state.get("advance_event")
         if event is None or event.triggered:
-            event = self.env.event(name=f"rp-advance-{txn.txn_id}")
+            event = self.env.event(name="rp-advance")
             state["advance_event"] = event
         return event
 
@@ -129,10 +171,14 @@ class RuntimePipelining(ConcurrencyControl):
         # Only dependencies that are still active in this node can gate the
         # step entry; snapshot them once so re-checks after each progress
         # notification stay cheap.
+        dependencies = txn.dependencies
+        if not dependencies:
+            return
+        active = self._active
         watched = [
-            (self._active[dep_id], self.same_child_group(txn, self._active[dep_id]))
-            for dep_id in txn.dependencies
-            if dep_id in self._active
+            (other, self.same_child_group(txn, other))
+            for dep_id in dependencies
+            if (other := active.get(dep_id)) is not None
         ]
         if not watched:
             return

@@ -108,6 +108,7 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
 
     def start(self, txn):
         state = self.state(txn)
+        state["read_keys"] = set()
         self._active_members.add(txn.txn_id)
         if self.batching and not txn.read_only:
             token = txn.group_token(self.node.node_id) or txn.txn_id
@@ -142,12 +143,14 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
             if not self._delegated(txn, writer):
                 self._abort(txn, "ssi-ww-conflict", writer)
         # Readers that already missed this write form rw anti-dependencies.
-        for reader_id, (reader, reader_ts) in list(self._readers.get(key, {}).items()):
-            if reader_id == txn.txn_id or not reader.is_active:
-                continue
-            if self._delegated(txn, reader):
-                continue
-            self._mark_antidependency(reader, txn)
+        readers = self._readers.get(key)
+        if readers:
+            for reader_id, (reader, reader_ts) in list(readers.items()):
+                if reader_id == txn.txn_id or not reader.is_active:
+                    continue
+                if self._delegated(txn, reader):
+                    continue
+                self._mark_antidependency(reader, txn)
         if self._entity(txn) in self._doomed:
             self._abort(txn, "ssi-pivot")
 
@@ -178,7 +181,10 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
                     or (candidate.commit_seq or 0) >= (chosen.commit_seq or 0)
                 ):
                     chosen = candidate
-        self._readers.setdefault(key, {})[txn.txn_id] = (txn, start_ts)
+        readers = self._readers.get(key)
+        if readers is None:
+            readers = self._readers[key] = {}
+        readers[txn.txn_id] = (txn, start_ts)
         # Anti-dependencies: newer writes this snapshot read is missing.
         latest = self.engine.store.latest_committed(key)
         if latest is not None and self._writer_commit_ts(latest) > start_ts:
@@ -193,7 +199,7 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
                 continue
             if not self._delegated(txn, writer) and pending is not chosen:
                 self._mark_antidependency(txn, writer)
-        state.setdefault("read_keys", set()).add(key)
+        state["read_keys"].add(key)
         return chosen
 
     def select_version(self, txn, key):

@@ -32,8 +32,16 @@ class TimestampOrdering(ConcurrencyControl):
     write_optimized = True
     extra_start_rtts = 1  # centralized timestamp server
 
-    def __init__(self, engine, node, batching=None, batch_size=8, use_promises=True):
+    def __init__(
+        self, engine, node, batching=None, batch_size=8, use_promises=True, promises=None
+    ):
+        # ``promises`` is the spec param recorded by autoconf preprocessing
+        # (preprocess_tso_promises): the transaction types with declared
+        # write keys.  A preprocessed empty list disables the optimisation,
+        # but an explicit ``use_promises=False`` always wins.
         super().__init__(engine, node)
+        if promises is not None and use_promises:
+            use_promises = bool(promises)
         self.batch_size = batch_size
         self.use_promises = use_promises
         self.batches = BatchManager(engine.oracle, batch_size=batch_size)
@@ -70,6 +78,7 @@ class TimestampOrdering(ConcurrencyControl):
 
     def start(self, txn):
         state = self.state(txn)
+        state["read_keys"] = set()
         if self.batching:
             token = txn.group_token(self.node.node_id) or txn.txn_id
             batch_id, ts = self.batches.admit(token)
@@ -119,9 +128,10 @@ class TimestampOrdering(ConcurrencyControl):
 
     def before_write(self, txn, key, value):
         my_ts = self._ts(txn)
-        for reader_id, (reader, reader_ts, read_version_ts) in list(
-            self._reads.get(key, {}).items()
-        ):
+        readers = self._reads.get(key)
+        if not readers:
+            return
+        for reader_id, (reader, reader_ts, read_version_ts) in list(readers.items()):
             if reader_id == txn.txn_id or self._same_batch(txn, reader):
                 continue
             if reader_ts > my_ts and read_version_ts < my_ts:
@@ -156,8 +166,11 @@ class TimestampOrdering(ConcurrencyControl):
         return best
 
     def _record_read(self, txn, key, version_ts):
-        self._reads.setdefault(key, {})[txn.txn_id] = (txn, self._ts(txn), version_ts)
-        self.state(txn).setdefault("read_keys", set()).add(key)
+        readers = self._reads.get(key)
+        if readers is None:
+            readers = self._reads[key] = {}
+        readers[txn.txn_id] = (txn, self._ts(txn), version_ts)
+        self.state(txn)["read_keys"].add(key)
 
     def select_version(self, txn, key):
         candidate = self.engine.store.own_uncommitted(key, txn.txn_id)

@@ -37,14 +37,17 @@ class TwoPhaseLocking(ConcurrencyControl):
 
     # -- execution phase -------------------------------------------------------
 
+    # Hooks return ``None`` when the lock is granted immediately and a
+    # blocking coroutine otherwise (the engine only drives non-None results).
+
     def before_read(self, txn, key):
-        yield from self.locks.acquire(txn, key, SHARED)
+        return self.locks.request(txn, key, SHARED)
 
     def before_update_read(self, txn, key):
-        yield from self.locks.acquire(txn, key, EXCLUSIVE)
+        return self.locks.request(txn, key, EXCLUSIVE)
 
     def before_write(self, txn, key, value):
-        yield from self.locks.acquire(txn, key, EXCLUSIVE)
+        return self.locks.request(txn, key, EXCLUSIVE)
 
     def amend_read(self, txn, key, candidate):
         """Accept an uncommitted proposal from this subtree, else read committed.

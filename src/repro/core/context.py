@@ -13,6 +13,8 @@ from repro.storage.tables import composite_key
 class TransactionContext:
     """Data-access API available inside a stored procedure."""
 
+    __slots__ = ("_engine", "_txn")
+
     def __init__(self, engine, txn):
         self._engine = engine
         self._txn = txn
@@ -40,24 +42,31 @@ class TransactionContext:
         ``for_update=True`` declares that the row will be written later in
         the transaction, letting lock-based CCs take the exclusive lock up
         front instead of upgrading (which would invite deadlocks).
+
+        Returns the engine coroutine directly (callers ``yield from`` it), so
+        the per-read hot path carries no extra generator frame.
         """
-        key = composite_key(table, *parts)
-        value = yield from self._engine.perform_read(
-            self._txn, key, for_update=for_update
+        return self._engine.perform_read(
+            self._txn, composite_key(table, *parts), for_update=for_update
         )
-        return value
 
     def write(self, table, *parts, row):
-        """Write (insert or replace) a row."""
-        key = composite_key(table, *parts)
-        yield from self._engine.perform_write(self._txn, key, dict(row))
-        return row
+        """Write (insert or replace) a row.
+
+        Returns the engine coroutine directly (callers ``yield from`` it), so
+        the per-write hot path carries no extra generator frame; the
+        coroutine's value is the installed version.
+        """
+        return self._engine.perform_write(
+            self._txn, composite_key(table, *parts), dict(row)
+        )
 
     def update(self, table, *parts, updates):
         """Read-modify-write convenience: merge ``updates`` into the row."""
         key = composite_key(table, *parts)
         current = yield from self._engine.perform_read(self._txn, key, for_update=True)
-        row = dict(current or {})
+        # perform_read returns a fresh per-read copy, so it is ours to mutate.
+        row = current if current is not None else {}
         for column, value in updates.items():
             if callable(value):
                 row[column] = value(row.get(column))
@@ -68,8 +77,9 @@ class TransactionContext:
 
     def delete(self, table, *parts):
         """Delete a row (writes a ``None`` tombstone)."""
-        key = composite_key(table, *parts)
-        yield from self._engine.perform_write(self._txn, key, None)
+        return self._engine.perform_write(
+            self._txn, composite_key(table, *parts), None
+        )
 
     def exists(self, table, *parts):
         value = yield from self.read(table, *parts)

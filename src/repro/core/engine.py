@@ -15,25 +15,34 @@ The engine implements the four-phase execution protocol of Section 4.3.1:
 
 The engine also hosts the shared services: multi-version storage, timestamp
 oracle, garbage collection, durability and the contention profiler.
+
+Hot-path design notes: the CC path and its cost constants are resolved once
+per transaction in :meth:`begin` (pinned on the transaction as
+``cc_path``/``charges``), transitive-dependency queries are memoized against
+a dependency-graph generation counter, and finished-transaction bookkeeping
+is O(1) amortized.
 """
 
+from collections import deque
 from dataclasses import dataclass, field
 from itertools import count
 
-from repro.cc.base import as_coroutine
 from repro.cc.timestamps import TimestampOracle
 from repro.core.config import Configuration
 from repro.core.context import TransactionContext
 from repro.core.stats import StatsCollector
-from repro.core.transaction import Transaction, TransactionStatus
-from repro.core.tree import build_tree
+from repro.core.transaction import ReadRecord, Transaction, TransactionStatus
+from repro.core.tree import build_routes, build_tree
 from repro.errors import ConfigurationError, TransactionAborted
-from repro.sim.events import any_of
+from repro.sim.events import Event, Timeout, any_of
 from repro.sim.network import ClusterModel
 from repro.sim.resources import Condition
 from repro.storage.durability import DurabilityConfig, DurabilityManager
 from repro.storage.gc import GarbageCollector
 from repro.storage.mvstore import MultiVersionStore
+
+_ACTIVE = TransactionStatus.ACTIVE
+_VALIDATING = TransactionStatus.VALIDATING
 
 
 @dataclass
@@ -79,23 +88,31 @@ class TebaldiEngine:
         self.stats = StatsCollector(env)
         self.gc = GarbageCollector(self.store, epoch_length=self.options.gc_epoch_length)
         self.durability = DurabilityManager(self.options.durability)
+        # Static for the engine's lifetime; cached off the property chain.
+        self._durable = self.durability.enabled
         self.commit_condition = Condition(env, name="commit")
         self.admission_condition = Condition(env, name="admission")
 
         self._txn_ids = count(1)
         self.active = {}
         self.finished = {}
+        self._finished_order = deque()
         self.committed_ids = set()
         self.aborted_ids = set()
-        self.committed_history = []
+        self.committed_history = deque(maxlen=self.options.history_limit)
         self._paused_types = set()
         self._draining = False
 
+        # Memoized transitive-dependency reachability, invalidated whenever
+        # the dependency graph changes shape (new edge, transaction retired).
+        self._dep_generation = 0
+        self._reach_cache = {}
+        self._reach_cache_generation = -1
+
         self.root, self.nodes, self._leaf_by_type = build_tree(self, configuration)
-        self._paths_by_type = {
-            txn_type: leaf.path_from_root()
-            for txn_type, leaf in self._leaf_by_type.items()
-        }
+        self._routes = build_routes(
+            self._leaf_by_type, self.cluster, self.transaction_types
+        )
 
     # -- configuration helpers ------------------------------------------------
 
@@ -121,13 +138,16 @@ class TebaldiEngine:
         return self.transaction_types[txn_type].read_only
 
     def path_for(self, txn):
-        path = getattr(txn, "path_nodes", None)
+        path = txn.path_nodes
         if path is not None:
             return path
-        return self._paths_by_type[txn.txn_type]
+        return self._routes[txn.txn_type].nodes
 
     def cc_path(self, txn):
-        return [node.cc for node in self.path_for(txn)]
+        ccs = txn.cc_path
+        if ccs is not None:
+            return ccs
+        return self._routes[txn.txn_type].ccs
 
     def find_transaction(self, txn_id):
         txn = self.active.get(txn_id)
@@ -139,7 +159,8 @@ class TebaldiEngine:
 
     def begin(self, txn_type, args=None, client_id=-1):
         """Create and register a new transaction instance."""
-        if txn_type not in self.transaction_types:
+        route = self._routes.get(txn_type)
+        if route is None:
             raise ConfigurationError(f"unknown transaction type {txn_type!r}")
         args = dict(args or {})
         txn = Transaction(
@@ -147,26 +168,35 @@ class TebaldiEngine:
             txn_type=txn_type,
             args=args,
             client_id=client_id,
-            read_only=self.is_read_only_type(txn_type),
-            begin_time=self.env.now,
+            read_only=route.read_only,
+            begin_time=self.env._now,
         )
-        leaf = self._leaf_by_type[txn_type]
-        txn.leaf_node_id = leaf.node_id
-        if leaf.spec.instance_key is not None:
-            txn.partition_value = leaf.spec.instance_key(args)
-        path = leaf.path_from_root()
-        # Pin the runtime path so that in-flight transactions are unaffected
-        # by online reconfigurations swapping parts of the tree.
+        txn.leaf_node_id = route.leaf_node_id
+        if route.instance_key is not None:
+            txn.partition_value = route.instance_key(args)
+        # Pin the runtime path and its precomputed cost constants so that
+        # in-flight transactions are unaffected by online reconfigurations
+        # swapping parts of the tree, and the hot path never rebuilds them.
+        path = route.nodes
         txn.path_nodes = path
-        for parent, child in zip(path, path[1:]):
-            token = child.node_id
-            if child.spec.instance_key is not None:
-                token = (child.node_id, txn.partition_value)
-            txn.group_tokens[parent.node_id] = token
-        # A leaf with per-instance partitioning also distinguishes its own
-        # partitions, which matters when it is the direct child of the root.
-        txn.group_tokens[leaf.node_id] = (leaf.node_id, txn.partition_value)
-        txn.finish_event = self.env.event(name=f"finish-{txn.txn_id}")
+        txn.cc_path = route.ccs
+        txn.charges = route
+        txn.dep_listener = self._on_new_dependency
+        if route.static_group_tokens is not None:
+            # Immutable token map shared by every transaction of this type.
+            txn.group_tokens = route.static_group_tokens
+        else:
+            for parent, child in zip(path, path[1:]):
+                token = child.node_id
+                if child.spec.instance_key is not None:
+                    token = (child.node_id, txn.partition_value)
+                txn.group_tokens[parent.node_id] = token
+            # A leaf with per-instance partitioning also distinguishes its
+            # own partitions, which matters when it is the direct child of
+            # the root.
+            leaf_node_id = route.leaf_node_id
+            txn.group_tokens[leaf_node_id] = (leaf_node_id, txn.partition_value)
+        txn.finish_event = Event(self.env, "finish")
         self.gc.register_transaction(txn)
         self.active[txn.txn_id] = txn
         return txn
@@ -178,7 +208,8 @@ class TebaldiEngine:
         :class:`TransactionAborted` if the attempt aborts (the caller decides
         whether to retry).
         """
-        yield from self._wait_for_admission(txn_type)
+        if self._draining or txn_type in self._paused_types:
+            yield from self._wait_for_admission(txn_type)
         txn = self.begin(txn_type, args, client_id)
         try:
             result = yield from self._run(txn)
@@ -193,30 +224,49 @@ class TebaldiEngine:
             yield from self.admission_condition.wait()
 
     def _run(self, txn):
-        path = self.cc_path(txn)
+        charges = txn.charges
+        charge_costs = self.options.charge_costs
         # Start phase -------------------------------------------------------
-        yield from self._charge_phase(path, extra_rtts=self._extra_start_rtts(path))
-        for cc in path:
-            yield from as_coroutine(cc.start(txn))
+        if charge_costs:
+            if self.options.model_cpu:
+                yield from self._charge_start_phase(charges)
+            else:
+                yield Timeout(self.env, charges.start_delay)
+        for start_hook in charges.start_hooks:
+            step = start_hook(txn)
+            if step is not None:
+                yield from step
         # Execution phase (driven by the stored procedure) -------------------
-        procedure = self.transaction_types[txn.txn_type].procedure
+        procedure = charges.procedure
         context = TransactionContext(self, txn)
         result = yield from procedure(context, **txn.args)
         # Validation phase ----------------------------------------------------
         txn.status = TransactionStatus.VALIDATING
-        yield from self._charge_phase(path)
-        for cc in reversed(path):
-            yield from as_coroutine(cc.validate(txn))
+        if charge_costs:
+            if self.options.model_cpu:
+                yield from self._charge_phase(charges)
+            else:
+                yield Timeout(self.env, charges.phase_delay)
+        for validate_hook in charges.validate_hooks:
+            step = validate_hook(txn)
+            if step is not None:
+                yield from step
         self._check_cascading_abort(txn)
         # Commit phase ---------------------------------------------------------
-        yield from self._charge_phase(path)
-        for cc in reversed(path):
-            yield from as_coroutine(cc.pre_commit(txn))
+        if charge_costs:
+            if self.options.model_cpu:
+                yield from self._charge_phase(charges)
+            else:
+                yield Timeout(self.env, charges.phase_delay)
+        for pre_commit_hook in charges.pre_commit_hooks:
+            step = pre_commit_hook(txn)
+            if step is not None:
+                yield from step
         self._commit(txn)
-        if self.durability.enabled:
+        if self._durable:
             yield from self._durable_commit(txn)
-        for cc in reversed(path):
-            cc.finish(txn, committed=True)
+        for finish_hook in charges.finish_hooks:
+            finish_hook(txn, committed=True)
         self.commit_condition.notify_all()
         return result
 
@@ -231,8 +281,6 @@ class TebaldiEngine:
         self.stats.record_commit(txn)
         if self.options.keep_history:
             self.committed_history.append(txn)
-            if len(self.committed_history) > self.options.history_limit:
-                del self.committed_history[: self.options.history_limit // 10]
         self.gc.finish_transaction(txn)
         return versions
 
@@ -252,8 +300,8 @@ class TebaldiEngine:
         if not txn.finish_event.triggered:
             txn.finish_event.succeed(False)
         self.store.abort_transaction(txn)
-        for cc in reversed(self.cc_path(txn)):
-            cc.finish(txn, committed=False)
+        for finish_hook in txn.charges.finish_hooks:
+            finish_hook(txn, committed=False)
         self.aborted_ids.add(txn.txn_id)
         self._retire(txn)
         self.stats.record_abort(txn, reason)
@@ -262,11 +310,18 @@ class TebaldiEngine:
 
     def _retire(self, txn):
         self.active.pop(txn.txn_id, None)
+        # Retiring removes the transaction's outgoing edges from the active
+        # dependency graph, so memoized reachability must be invalidated.
+        self._dep_generation += 1
+        if txn.txn_id not in self.finished:
+            self._finished_order.append(txn.txn_id)
         self.finished[txn.txn_id] = txn
-        if len(self.finished) > self.options.history_limit:
-            # Drop the oldest finished transactions to bound memory.
-            for txn_id in list(self.finished)[: self.options.history_limit // 10]:
-                del self.finished[txn_id]
+        limit = self.options.history_limit
+        # O(1) amortized trimming: pop the oldest finished ids from the front
+        # of the insertion-ordered deque instead of materialising the dict.
+        while len(self.finished) > limit:
+            oldest = self._finished_order.popleft()
+            self.finished.pop(oldest, None)
 
     def user_abort(self, txn, reason="user-abort"):
         raise TransactionAborted(txn.txn_id, reason)
@@ -280,22 +335,28 @@ class TebaldiEngine:
 
     def perform_read(self, txn, key, for_update=False):
         """Coroutine implementing one read of the execution phase."""
-        if not txn.is_active:
+        status = txn.status
+        if status is not _ACTIVE and status is not _VALIDATING:
             raise TransactionAborted(txn.txn_id, txn.abort_reason or "not-active")
-        path = self.cc_path(txn)
-        yield from self._charge_operation(path)
-        for cc in path:
-            if for_update:
-                yield from as_coroutine(cc.before_update_read(txn, key))
+        charges = txn.charges
+        options = self.options
+        if options.charge_costs:
+            if options.model_cpu:
+                yield from self._charge_operation(charges)
             else:
-                yield from as_coroutine(cc.before_read(txn, key))
+                yield Timeout(self.env, charges.op_delay)
+        hooks = charges.update_read_hooks if for_update else charges.read_hooks
+        for hook in hooks:
+            step = hook(txn, key)
+            if step is not None:
+                yield from step
         # Multi-versioned CCs may treat "read for update" differently (the
         # subsequent write-write check covers the conflict, so registering an
         # anti-dependency would double-count it).
         txn.current_read_for_update = for_update
-        candidate = path[-1].select_version(txn, key)
-        for cc in reversed(path[:-1]):
-            candidate = cc.amend_read(txn, key, candidate)
+        candidate = charges.select_version(txn, key)
+        for amend_hook in charges.amend_hooks:
+            candidate = amend_hook(txn, key, candidate)
         txn.current_read_for_update = False
         if (
             candidate is not None
@@ -310,7 +371,7 @@ class TebaldiEngine:
                     txn, "order-conflict", self.active.get(candidate.writer)
                 )
             raise TransactionAborted(txn.txn_id, "order-conflict")
-        txn.record_read(key, candidate, at=self.env.now)
+        txn.reads.append(ReadRecord(key, candidate, self.env._now))
         if candidate is None:
             return None
         if candidate.writer != txn.txn_id and (
@@ -324,12 +385,20 @@ class TebaldiEngine:
 
     def perform_write(self, txn, key, value):
         """Coroutine implementing one write of the execution phase."""
-        if not txn.is_active:
+        status = txn.status
+        if status is not _ACTIVE and status is not _VALIDATING:
             raise TransactionAborted(txn.txn_id, txn.abort_reason or "not-active")
-        path = self.cc_path(txn)
-        yield from self._charge_operation(path)
-        for cc in path:
-            yield from as_coroutine(cc.before_write(txn, key, value))
+        charges = txn.charges
+        options = self.options
+        if options.charge_costs:
+            if options.model_cpu:
+                yield from self._charge_operation(charges)
+            else:
+                yield Timeout(self.env, charges.op_delay)
+        for hook in charges.write_hooks:
+            step = hook(txn, key, value)
+            if step is not None:
+                yield from step
         # Order this write after existing writers of the key (only active
         # writers can still constrain ordering decisions).  If an existing
         # writer is already ordered after this transaction, installing on top
@@ -337,17 +406,20 @@ class TebaldiEngine:
         latest = self.store.latest_committed(key)
         if latest is not None and latest.writer in self.active:
             txn.add_dependency(latest.writer)
-        for pending in self.store.uncommitted_versions(key):
-            if pending.writer == txn.txn_id:
-                continue
-            if self.depends_transitively(pending.writer, txn.txn_id):
-                raise TransactionAborted(txn.txn_id, "order-conflict")
-            txn.add_dependency(pending.writer)
+        pending_map = self.store.uncommitted_map(key)
+        if pending_map:
+            for pending_writer in pending_map:
+                if pending_writer == txn.txn_id:
+                    continue
+                if self.depends_transitively(pending_writer, txn.txn_id):
+                    raise TransactionAborted(txn.txn_id, "order-conflict")
+                txn.add_dependency(pending_writer)
         version = self.store.install(key, value, txn)
         txn.record_write(key, value)
-        self.durability.log_operation(txn, key, value)
-        for cc in reversed(path):
-            cc.after_write(txn, key, version)
+        if self._durable:
+            self.durability.log_operation(txn, key, value)
+        for after_write_hook in charges.after_write_hooks:
+            after_write_hook(txn, key, version)
         return version
 
     def wait_would_deadlock(self, txn, blocker_id):
@@ -377,29 +449,64 @@ class TebaldiEngine:
                 self.profiler.record_abort(txn, reason, self.active.get(blocker_id))
             raise TransactionAborted(txn.txn_id, reason)
 
+    def _on_new_dependency(self, txn, other_id):
+        """Maintain reverse dependency edges and invalidate reachability."""
+        self._dep_generation += 1
+        other = self.active.get(other_id)
+        if other is None:
+            other = self.finished.get(other_id)
+        if other is not None:
+            other.dependents.add(txn.txn_id)
+
+    def _ordered_after(self, target):
+        """Set of active txn ids transitively ordered after ``target``.
+
+        Walks the engine-maintained reverse dependency edges; only active
+        transactions can relay an ordering constraint, exactly mirroring the
+        forward walk the engine used to do per query.  The result is memoized
+        until the dependency graph changes shape (edge added / txn retired).
+        """
+        active = self.active
+        closure = set()
+        frontier = [target]
+        while frontier:
+            node = frontier.pop()
+            for dep_id in node.dependents:
+                if dep_id in closure:
+                    continue
+                dependent = active.get(dep_id)
+                if dependent is None:
+                    continue
+                closure.add(dep_id)
+                frontier.append(dependent)
+        return closure
+
     def depends_transitively(self, source_id, target_id):
         """True if active transaction ``source_id`` is ordered after ``target_id``.
 
-        Walks the dependency sets of active transactions only; used to detect
-        (and break, by aborting) ordering cycles before they can cause
-        unserializable pipelining or wait-for deadlocks.
+        Used to detect (and break, by aborting) ordering cycles before they
+        can cause unserializable pipelining or wait-for deadlocks.  The query
+        is answered from the reverse-reachability closure of ``target_id``
+        (typically a handful of transactions), which is memoized against a
+        dependency-graph generation counter bumped on every new edge and
+        every retire — so bursts of queries against the same transaction
+        (lock conflict scans, pipeline-entry checks) share one walk.
         """
         if source_id == target_id:
             return True
-        stack = [source_id]
-        seen = set()
-        while stack:
-            current = stack.pop()
-            if current == target_id:
-                return True
-            if current in seen:
-                continue
-            seen.add(current)
-            txn = self.active.get(current)
-            if txn is None:
-                continue
-            stack.extend(txn.dependencies)
-        return False
+        cache = self._reach_cache
+        if self._reach_cache_generation != self._dep_generation:
+            cache.clear()
+            self._reach_cache_generation = self._dep_generation
+        closure = cache.get(target_id)
+        if closure is None:
+            target = self.active.get(target_id)
+            if target is None:
+                target = self.finished.get(target_id)
+            if target is None:
+                return False
+            closure = cache[target_id] = self._ordered_after(target)
+        return source_id in closure
 
     # -- waiting helpers ------------------------------------------------------------
 
@@ -424,7 +531,7 @@ class TebaldiEngine:
             wait_start = self.env.now
             if timeout_event is None:
                 timeout_event = self.env.timeout(timeout)
-            elif getattr(timeout_event, "_processed", False):
+            elif timeout_event._processed:
                 if self.profiler is not None:
                     self.profiler.record_abort(txn, "commit-order-timeout", blocker)
                 raise TransactionAborted(txn.txn_id, "commit-order-timeout")
@@ -458,7 +565,7 @@ class TebaldiEngine:
             wait_start = self.env.now
             if timeout_event is None:
                 timeout_event = self.env.timeout(timeout)
-            elif getattr(timeout_event, "_processed", False):
+            elif timeout_event._processed:
                 if self.profiler is not None:
                     self.profiler.record_abort(txn, f"{reason}-timeout", blocker)
                 raise TransactionAborted(txn.txn_id, f"{reason}-timeout")
@@ -483,7 +590,7 @@ class TebaldiEngine:
             wait_start = self.env.now
             if timeout_event is None:
                 timeout_event = self.env.timeout(timeout)
-            elif getattr(timeout_event, "_processed", False):
+            elif timeout_event._processed:
                 if self.profiler is not None:
                     self.profiler.record_abort(txn, f"{reason}-timeout", blocker)
                 raise TransactionAborted(txn.txn_id, f"{reason}-timeout")
@@ -493,32 +600,21 @@ class TebaldiEngine:
 
     # -- cost model --------------------------------------------------------------------
 
-    def _charge_operation(self, path):
-        if not self.options.charge_costs:
-            return
-        cost = self.cluster.costs.operation_cost(len(path))
-        rtts = 1 + sum(getattr(cc, "extra_operation_rtts", 0) for cc in path)
-        if self.options.model_cpu:
-            yield from self.cluster.compute(cost)
-            yield from self.cluster.network_delay(rtts)
-        else:
-            # Cheap path: one virtual-time delay per operation.
-            yield self.env.timeout(cost + rtts * self.cluster.network.round_trip())
+    # The cheap path (model_cpu off) charges a single precomputed Timeout
+    # inline at every call site; these helpers cover only the CPU-modelled
+    # variant with its bounded compute pool.
 
-    def _charge_phase(self, path, extra_rtts=0):
-        if not self.options.charge_costs:
-            return
-        cost = self.cluster.costs.phase_cost(len(path))
-        if self.options.model_cpu:
-            yield from self.cluster.compute(cost)
-            yield from self.cluster.network_delay(1 + extra_rtts)
-        else:
-            yield self.env.timeout(
-                cost + (1 + extra_rtts) * self.cluster.network.round_trip()
-            )
+    def _charge_operation(self, charges):
+        yield from self.cluster.compute(charges.op_cost)
+        yield from self.cluster.network_delay(charges.op_rtts)
 
-    def _extra_start_rtts(self, path):
-        return sum(getattr(cc, "extra_start_rtts", 0) for cc in path)
+    def _charge_phase(self, charges):
+        yield from self.cluster.compute(charges.phase_cost)
+        yield from self.cluster.network_delay(1)
+
+    def _charge_start_phase(self, charges):
+        yield from self.cluster.compute(charges.phase_cost)
+        yield from self.cluster.network_delay(1 + charges.start_rtts)
 
     # -- background services --------------------------------------------------------------
 
@@ -547,21 +643,26 @@ class TebaldiEngine:
         to finish (optionally force-aborting after a timeout).  Prepare phase:
         rebuild the CC module with the new configuration (storage untouched).
         Apply phase: resume admission.
+
+        The drain is event-driven: the engine waits on the commit condition
+        (notified on every commit and abort) plus, when a force-abort window
+        is set, a single deadline timeout — no polling.
         """
         self._draining = True
         self.gc.pause()
-        deadline = None
+        deadline_event = None
         if force_abort_after is not None:
-            deadline = self.env.now + force_abort_after
+            deadline_event = self.env.timeout(force_abort_after)
         while self.active:
-            if deadline is not None and self.env.now >= deadline:
+            if deadline_event is not None and deadline_event._processed:
                 for txn in list(self.active.values()):
                     txn.status = TransactionStatus.ABORTED
                     txn.abort_reason = "forced-reconfiguration"
                 break
-            yield any_of(
-                self.env, [self.commit_condition._event, self.env.timeout(0.01)]
-            )
+            if deadline_event is not None:
+                yield any_of(self.env, [self.commit_condition._event, deadline_event])
+            else:
+                yield from self.commit_condition.wait()
         self._swap_configuration(new_configuration)
         self.gc.resume()
         self._draining = False
@@ -588,9 +689,8 @@ class TebaldiEngine:
         affected = self._affected_types(new_configuration)
         self._paused_types |= affected
         while any(txn.txn_type in affected for txn in self.active.values()):
-            yield any_of(
-                self.env, [self.commit_condition._event, self.env.timeout(0.01)]
-            )
+            # Event-driven drain: every commit/abort notifies the condition.
+            yield from self.commit_condition.wait()
         self._splice_subtree(new_configuration, change_path)
         self._paused_types -= affected
         self.admission_condition.notify_all()
@@ -664,10 +764,9 @@ class TebaldiEngine:
             if node.is_leaf:
                 for txn_type in node.spec.transactions:
                     self._leaf_by_type[txn_type] = node
-        self._paths_by_type = {
-            txn_type: leaf.path_from_root()
-            for txn_type, leaf in self._leaf_by_type.items()
-        }
+        self._routes = build_routes(
+            self._leaf_by_type, self.cluster, self.transaction_types
+        )
 
     def _affected_types(self, new_configuration):
         """Transaction types whose leaf group or path changes."""
@@ -688,7 +787,6 @@ class TebaldiEngine:
         self._check_configuration(new_configuration)
         self.configuration = new_configuration
         self.root, self.nodes, self._leaf_by_type = build_tree(self, new_configuration)
-        self._paths_by_type = {
-            txn_type: leaf.path_from_root()
-            for txn_type, leaf in self._leaf_by_type.items()
-        }
+        self._routes = build_routes(
+            self._leaf_by_type, self.cluster, self.transaction_types
+        )

@@ -2,7 +2,7 @@
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Optional
+from typing import Any, NamedTuple, Optional
 
 
 class TransactionStatus(Enum):
@@ -14,16 +14,19 @@ class TransactionStatus(Enum):
     ABORTED = "aborted"
 
 
-@dataclass
-class ReadRecord:
-    """One read performed by a transaction: the key and the version observed."""
+class ReadRecord(NamedTuple):
+    """One read performed by a transaction: the key and the version observed.
+
+    A named tuple (not a dataclass): one record is allocated per read, and
+    tuple construction is measurably cheaper on that path.
+    """
 
     key: Any
     version: Any
     at: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """Runtime state of one transaction instance.
 
@@ -41,19 +44,32 @@ class Transaction:
     status: TransactionStatus = TransactionStatus.ACTIVE
     read_only: bool = False
 
-    # Routing through the CC tree.
+    # Routing through the CC tree.  ``path_nodes`` / ``cc_path`` / ``charges``
+    # are resolved once in ``engine.begin()`` and pinned here, so in-flight
+    # transactions are unaffected by online reconfigurations and the per
+    # operation hot path never rebuilds them.
     leaf_node_id: str = ""
     group_tokens: dict = field(default_factory=dict)
     partition_value: Any = None
+    path_nodes: Any = None
+    cc_path: Any = None
+    charges: Any = None
 
     # Data accesses.
     reads: list = field(default_factory=list)
     writes: dict = field(default_factory=dict)
     write_order: list = field(default_factory=list)
 
-    # Direct dependencies (txn ids this transaction must be ordered after).
+    # Direct dependencies (txn ids this transaction must be ordered after)
+    # and the reverse edges (txn ids ordered after this transaction), which
+    # the engine maintains for fast transitive-ordering queries.
     dependencies: set = field(default_factory=set)
+    dependents: set = field(default_factory=set)
     read_from: set = field(default_factory=set)
+    # Invoked with (txn, other_txn_id) whenever a *new* dependency edge is
+    # recorded; the engine uses it to maintain reverse edges and invalidate
+    # its memoized reachability (``depends_transitively``).
+    dep_listener: Any = None
 
     # CC-specific metadata.
     cc_state: dict = field(default_factory=dict)
@@ -73,12 +89,15 @@ class Transaction:
     # Diagnostic: what the transaction is currently blocked on, as a
     # (reason, blocking transaction id) pair, or None when running.
     current_wait: Any = None
+    # Transient flag set around version selection of a read-for-update.
+    current_read_for_update: bool = False
 
-    # Timing (virtual seconds).
+    # Timing (virtual seconds) and outcome.
     begin_time: float = 0.0
     end_time: float = 0.0
     abort_reason: str = ""
     retries: int = 0
+    result: Any = None
 
     @property
     def is_active(self):
@@ -94,20 +113,27 @@ class Transaction:
 
     def state_for(self, node_id, factory=dict):
         """Per-CC-node scratch space (created on first access)."""
-        if node_id not in self.cc_state:
-            self.cc_state[node_id] = factory()
-        return self.cc_state[node_id]
+        state = self.cc_state.get(node_id)
+        if state is None:
+            state = self.cc_state[node_id] = factory()
+        return state
 
     def add_dependency(self, other_txn_id, read_from=False):
-        """Record that this transaction directly depends on ``other_txn_id``."""
+        """Record that this transaction directly depends on ``other_txn_id``.
+
+        Returns True when a new edge was recorded (and notifies
+        ``dep_listener`` so reachability caches can be invalidated).
+        """
         if other_txn_id == self.txn_id or other_txn_id == 0:
-            return
-        self.dependencies.add(other_txn_id)
+            return False
+        added = other_txn_id not in self.dependencies
+        if added:
+            self.dependencies.add(other_txn_id)
+            if self.dep_listener is not None:
+                self.dep_listener(self, other_txn_id)
         if read_from:
             self.read_from.add(other_txn_id)
-
-    def record_read(self, key, version, at=0.0):
-        self.reads.append(ReadRecord(key=key, version=version, at=at))
+        return added
 
     def record_write(self, key, value):
         if key not in self.writes:
@@ -119,7 +145,8 @@ class Transaction:
         return self.group_tokens.get(node_id)
 
     def __hash__(self):
-        return hash(self.txn_id)
+        # txn_id is already a unique small int; avoid re-hashing it.
+        return self.txn_id
 
     def __repr__(self):
         return (

@@ -6,8 +6,19 @@ transaction types of its subtree, which is how membership and child-group
 tokens are resolved.
 """
 
-from repro.cc.base import create_cc
+from repro.cc.base import ConcurrencyControl, create_cc
 from repro.errors import ConfigurationError
+
+
+def _overrides(cc, hook_name):
+    """Whether ``cc`` implements ``hook_name`` beyond the no-op base default.
+
+    Non-subclass mechanisms (e.g. :class:`PartitionedCC`) define every hook
+    themselves and therefore always count as overriding.
+    """
+    return getattr(type(cc), hook_name, None) is not getattr(
+        ConcurrencyControl, hook_name
+    )
 
 
 class TreeNode:
@@ -138,6 +149,127 @@ class PartitionedCC:
     @property
     def extra_start_rtts(self):
         return getattr(self._sample_instance(), "extra_start_rtts", 0)
+
+
+class Route:
+    """Precomputed per-transaction-type runtime path and cost constants.
+
+    Resolved once at tree-build (or subtree-splice) time so the per-operation
+    hot path does not rebuild the CC list or re-sum per-layer cost attributes
+    (``extra_operation_rtts`` / ``extra_start_rtts``) on every read, write and
+    phase.  ``op_delay``/``phase_delay``/``start_delay`` are the cheap-path
+    virtual-time charges (CPU cost plus network round-trips at the cluster's
+    fixed RTT); the ``model_cpu`` path uses the cost/RTT components directly.
+    """
+
+    __slots__ = (
+        "nodes",
+        "ccs",
+        "op_cost",
+        "op_rtts",
+        "phase_cost",
+        "start_rtts",
+        "op_delay",
+        "phase_delay",
+        "start_delay",
+        "read_hooks",
+        "update_read_hooks",
+        "write_hooks",
+        "select_version",
+        "amend_hooks",
+        "after_write_hooks",
+        "start_hooks",
+        "validate_hooks",
+        "pre_commit_hooks",
+        "finish_hooks",
+        "static_group_tokens",
+        "partitioned",
+        "procedure",
+        "read_only",
+        "instance_key",
+        "leaf_node_id",
+    )
+
+    def __init__(self, nodes, costs, rtt, txn_type_def=None):
+        self.nodes = nodes
+        ccs = self.ccs = [node.cc for node in nodes]
+        layers = len(nodes)
+        self.op_cost = costs.operation_cost(layers)
+        self.op_rtts = 1 + sum(getattr(cc, "extra_operation_rtts", 0) for cc in ccs)
+        self.phase_cost = costs.phase_cost(layers)
+        self.start_rtts = sum(getattr(cc, "extra_start_rtts", 0) for cc in ccs)
+        self.op_delay = self.op_cost + self.op_rtts * rtt
+        self.phase_delay = self.phase_cost + rtt
+        self.start_delay = self.phase_cost + (1 + self.start_rtts) * rtt
+        # Specialised hook tables: only CCs that actually implement a hook
+        # appear (as pre-bound methods), so the per-operation loops never
+        # dispatch into the base-class no-ops.  Hook order is preserved:
+        # top-down for the constraining hooks, bottom-up for the rest.
+        down = ccs
+        up = list(reversed(ccs))
+        self.read_hooks = tuple(
+            cc.before_read for cc in down if _overrides(cc, "before_read")
+        )
+        # ``before_update_read`` falls back to ``before_read`` in the base
+        # class, so overriding either one makes the hook observable.
+        self.update_read_hooks = tuple(
+            cc.before_update_read
+            for cc in down
+            if _overrides(cc, "before_update_read") or _overrides(cc, "before_read")
+        )
+        self.write_hooks = tuple(
+            cc.before_write for cc in down if _overrides(cc, "before_write")
+        )
+        self.select_version = ccs[-1].select_version
+        self.amend_hooks = tuple(
+            cc.amend_read for cc in up[1:] if _overrides(cc, "amend_read")
+        )
+        self.after_write_hooks = tuple(
+            cc.after_write for cc in up if _overrides(cc, "after_write")
+        )
+        self.start_hooks = tuple(cc.start for cc in down if _overrides(cc, "start"))
+        # The base validate() is a real implementation (consistent-ordering
+        # wait), so every CC stays in the validation pass.
+        self.validate_hooks = tuple(cc.validate for cc in up)
+        self.pre_commit_hooks = tuple(
+            cc.pre_commit for cc in up if _overrides(cc, "pre_commit")
+        )
+        self.finish_hooks = tuple(cc.finish for cc in up if _overrides(cc, "finish"))
+        # Without partition-by-instance anywhere on the path, every
+        # transaction of this type shares one immutable token map; the
+        # engine then skips rebuilding it per begin().
+        self.partitioned = any(node.spec.instance_key is not None for node in nodes)
+        if self.partitioned:
+            self.static_group_tokens = None
+        else:
+            tokens = {}
+            for parent, child in zip(nodes, nodes[1:]):
+                tokens[parent.node_id] = child.node_id
+            tokens[nodes[-1].node_id] = (nodes[-1].node_id, None)
+            self.static_group_tokens = tokens
+        # Per-type lookups resolved once so begin()/_run() skip the dicts.
+        leaf = nodes[-1]
+        self.instance_key = leaf.spec.instance_key
+        self.leaf_node_id = leaf.node_id
+        if txn_type_def is not None:
+            self.procedure = txn_type_def.procedure
+            self.read_only = txn_type_def.read_only
+        else:
+            self.procedure = None
+            self.read_only = False
+
+
+def build_routes(leaf_by_type, cluster, transaction_types=None):
+    """Compile the per-type :class:`Route` table for a runtime tree."""
+    costs = cluster.costs
+    rtt = cluster.network.round_trip()
+    transaction_types = transaction_types or {}
+    return {
+        txn_type: Route(
+            leaf.path_from_root(), costs, rtt, transaction_types.get(txn_type)
+        )
+        for txn_type, leaf in leaf_by_type.items()
+    }
 
 
 def build_tree(engine, configuration):

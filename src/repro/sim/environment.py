@@ -1,10 +1,21 @@
 """The discrete-event simulation environment and process machinery."""
 
-import heapq
+from heapq import heappop as _heappop, heappush as _heappush
 from itertools import count
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, Interrupt, Timeout
+
+
+class _ResumeSentinel:
+    """Fake 'event' used to resume a process with (None, no-error)."""
+
+    __slots__ = ()
+    _value = None
+    _is_error = False
+
+
+_RESUME = _ResumeSentinel()
 
 
 class Process(Event):
@@ -15,16 +26,16 @@ class Process(Event):
     other with ``yield other_process``.
     """
 
+    __slots__ = ("generator", "_target", "_interrupts")
+
     def __init__(self, env, generator, name=""):
         super().__init__(env, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
         self._target = None
         self._interrupts = []
-        self._generation = 0
-        # Kick off the process at the current simulation time.
-        init = Event(env, name=f"init:{self.name}")
-        init.succeed(None)
-        self._subscribe(init)
+        # Kick off the process at the current simulation time.  The scheduler
+        # invokes the bound method directly — no throwaway "init" Event.
+        env._schedule_callback(self._start)
 
     @property
     def is_alive(self):
@@ -35,35 +46,47 @@ class Process(Event):
         if self.triggered:
             return
         self._interrupts.append(Interrupt(cause))
-        wakeup = Event(self.env, name=f"interrupt:{self.name}")
-        wakeup.succeed(None)
-        self._subscribe(wakeup, interrupting=True)
+        self.env._schedule_callback(self._wake)
 
-    def _subscribe(self, event, interrupting=False):
-        if not interrupting:
-            self._target = event
-        generation = self._generation
-        event.callbacks.append(lambda ev: self._resume(ev, generation))
-        if getattr(event, "_processed", False):
-            # The event already fired; resume on the next scheduler step.
-            self.env._schedule_callback(lambda: self._resume(event, generation))
+    def _start(self):
+        if not self.triggered:
+            self._target = _RESUME
+            self(_RESUME)
 
-    def _resume(self, event, generation=None):
-        if self.triggered:
+    def _wake(self):
+        # Scheduled (non-event) wake-up used by interrupt().  If the pending
+        # interrupt was already delivered by another resume in the meantime,
+        # there is nothing left to do.
+        if self.triggered or not self._interrupts:
             return
-        if generation is not None and generation != self._generation:
+        self._target = _RESUME
+        self(_RESUME)
+
+    def _subscribe(self, event):
+        self._target = event
+        if event._processed:
+            # The event already fired; resume on the next scheduler step.
+            self.env._schedule_callback(lambda: self(event))
+        else:
+            # The process object is its own callback (no closure per resume).
+            event.callbacks.append(self)
+
+    def __call__(self, event):
+        # The process object is the callback registered on its target event;
+        # this is the hottest resume path, so it delegates straight to _step.
+        if self.triggered or event is not self._target:
             # Stale wake-up from an event we are no longer waiting on
             # (e.g. the original target after an interrupt).
             return
-        self._generation += 1
+        self._target = None
+        generator = self.generator
         try:
             if self._interrupts:
-                interrupt = self._interrupts.pop(0)
-                next_event = self.generator.throw(interrupt)
+                next_event = generator.throw(self._interrupts.pop(0))
             elif event._is_error:
-                next_event = self.generator.throw(event.value)
+                next_event = generator.throw(event._value)
             else:
-                next_event = self.generator.send(event.value)
+                next_event = generator.send(event._value)
         except StopIteration as stop:
             self._finish(value=stop.value)
             return
@@ -92,7 +115,15 @@ class Process(Event):
 
 
 class Environment:
-    """Priority-queue based discrete-event simulation environment."""
+    """Priority-queue based discrete-event simulation environment.
+
+    The run queue holds two kinds of entries: :class:`Event` objects (whose
+    callbacks run when dispatched) and bare callables (scheduler hooks used
+    by the process machinery, dispatched by calling them) — the latter avoid
+    allocating a throwaway Event per process resume.
+    """
+
+    __slots__ = ("_now", "_queue", "_seq", "_active")
 
     def __init__(self, initial_time=0.0):
         self._now = float(initial_time)
@@ -108,14 +139,10 @@ class Environment:
     # -- scheduling ------------------------------------------------------
 
     def _schedule_event(self, event, delay=0.0):
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        _heappush(self._queue, (self._now + delay, next(self._seq), event))
 
     def _schedule_callback(self, callback, delay=0.0):
-        event = Event(self, name="callback")
-        event._value = None
-        event._is_error = False
-        event.callbacks.append(lambda _ev: callback())
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        _heappush(self._queue, (self._now + delay, next(self._seq), callback))
 
     # -- public API ------------------------------------------------------
 
@@ -140,14 +167,23 @@ class Environment:
         """
         stop_event = until if isinstance(until, Event) else None
         horizon = until if isinstance(until, (int, float)) else None
-        while self._queue:
-            time, _seq, event = self._queue[0]
-            if horizon is not None and time > horizon:
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if horizon is not None and entry[0] > horizon:
                 self._now = float(horizon)
                 return None
-            heapq.heappop(self._queue)
-            self._now = time
-            self._dispatch(event)
+            _heappop(queue)
+            self._now = entry[0]
+            item = entry[2]
+            if isinstance(item, Event):
+                item._processed = True
+                callbacks = item.callbacks
+                item.callbacks = []
+                for callback in callbacks:
+                    callback(item)
+            else:
+                item()
             if stop_event is not None and stop_event.triggered:
                 if stop_event._is_error:
                     raise stop_event.value
@@ -157,9 +193,3 @@ class Environment:
         if stop_event is not None and not stop_event.triggered:
             raise SimulationError("run(until=event): queue drained before event fired")
         return None
-
-    def _dispatch(self, event):
-        event._processed = True
-        callbacks, event.callbacks = event.callbacks, []
-        for callback in callbacks:
-            callback(event)

@@ -3,7 +3,14 @@
 An :class:`Event` is a one-shot synchronisation object.  Processes yield an
 event to suspend until the event is triggered; the value (or exception)
 passed when triggering is delivered to every waiting process.
+
+Events are the single most allocated object of the simulator, so the class
+is deliberately lean: ``__slots__``, no precomputed display names, and the
+hot state (``_value``/``_is_error``/``_processed``) is read directly by the
+scheduler instead of through properties.
 """
+
+from heapq import heappush
 
 from repro.errors import SimulationError
 
@@ -18,12 +25,15 @@ class Event:
     that yielded it.  Triggering twice is an error.
     """
 
+    __slots__ = ("env", "name", "callbacks", "_value", "_is_error", "_processed")
+
     def __init__(self, env, name=""):
         self.env = env
         self.name = name
         self.callbacks = []
         self._value = _PENDING
         self._is_error = False
+        self._processed = False
 
     @property
     def triggered(self):
@@ -37,13 +47,13 @@ class Event:
 
     @property
     def value(self):
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError(f"event {self.name!r} has no value yet")
         return self._value
 
     def succeed(self, value=None):
         """Trigger the event with ``value``; wakes all waiters."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"event {self.name!r} already triggered")
         self._value = value
         self._is_error = False
@@ -52,7 +62,7 @@ class Event:
 
     def fail(self, exception):
         """Trigger the event with an exception that is raised in waiters."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"event {self.name!r} already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("Event.fail() requires an exception")
@@ -69,14 +79,21 @@ class Event:
 class Timeout(Event):
     """An event that triggers automatically after a virtual-time delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env, delay, value=None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env, name=f"timeout({delay})")
-        self.delay = delay
+        # Inlined Event.__init__ and scheduling — timeouts are the most
+        # allocated event kind of the simulator.
+        self.env = env
+        self.name = "timeout"
+        self.callbacks = []
         self._value = value
         self._is_error = False
-        env._schedule_event(self, delay=delay)
+        self._processed = False
+        self.delay = delay
+        heappush(env._queue, (env._now + delay, next(env._seq), self))
 
     @property
     def triggered(self):
@@ -84,35 +101,68 @@ class Timeout(Event):
         # controls when callbacks run.
         return True
 
+    def __repr__(self):
+        state = "processed" if self._processed else "scheduled"
+        return f"<Timeout({self.delay}) {state}>"
+
+
+class AnyOf(Event):
+    """Event that triggers when the first of its source events triggers.
+
+    Succeeds with ``(index, value)`` of the first event to fire, or fails
+    with its exception.  The combined event registers *itself* as the
+    callback on every source (no closures), and detaches from the remaining
+    unfired events once resolved — so repeatedly waiting on a long-lived
+    event (a transaction ``finish_event``, a ``Condition``'s current event)
+    does not accumulate dead callbacks.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, env, events, name="any_of"):
+        # Inlined Event.__init__ (hot path: one AnyOf per blocking wait).
+        self.env = env
+        self.name = name
+        self.callbacks = []
+        self._value = _PENDING
+        self._is_error = False
+        self._processed = False
+        self.events = events
+        for index, event in enumerate(events):
+            if event._processed:
+                # Already fired and dispatched: resolve immediately.
+                if event._is_error:
+                    self.fail(event._value)
+                else:
+                    self.succeed((index, event._value))
+                break
+            event.callbacks.append(self)
+        if self._value is not _PENDING:
+            self._detach()
+
+    def _detach(self):
+        for event in self.events:
+            try:
+                event.callbacks.remove(self)
+            except ValueError:
+                pass
+
+    def __call__(self, event):
+        if self._value is not _PENDING:
+            return
+        if event._is_error:
+            self.fail(event._value)
+        else:
+            self.succeed((self.events.index(event), event._value))
+        self._detach()
+
 
 def any_of(env, events, name="any_of"):
     """Return an event that triggers when the first of ``events`` triggers.
 
-    The combined event succeeds with ``(index, value)`` of the first event to
-    fire, or fails with its exception.  Used for lock waits with deadlock
-    timeouts.
+    See :class:`AnyOf`; used for lock waits with deadlock timeouts.
     """
-    combined = Event(env, name=name)
-
-    def _make_callback(index):
-        def _on_trigger(event):
-            if combined.triggered:
-                return
-            if event._is_error:
-                combined.fail(event.value)
-            else:
-                combined.succeed((index, event.value))
-
-        return _on_trigger
-
-    for index, event in enumerate(events):
-        event.callbacks.append(_make_callback(index))
-        if getattr(event, "_processed", False) and not combined.triggered:
-            if event._is_error:
-                combined.fail(event.value)
-            else:
-                combined.succeed((index, event.value))
-    return combined
+    return AnyOf(env, events, name=name)
 
 
 class Interrupt(Exception):

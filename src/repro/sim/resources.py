@@ -14,6 +14,8 @@ class WaitQueue:
     when another coroutine calls :meth:`notify_all` (or :meth:`notify_one`).
     """
 
+    __slots__ = ("env", "name", "_waiters")
+
     def __init__(self, env, name=""):
         self.env = env
         self.name = name
@@ -56,6 +58,8 @@ class WaitQueue:
 class Condition:
     """Broadcast condition variable: wait until the next notification."""
 
+    __slots__ = ("env", "name", "_event")
+
     def __init__(self, env, name=""):
         self.env = env
         self.name = name
@@ -81,6 +85,8 @@ class Condition:
 
 class Resource:
     """A counting resource with FIFO admission (models server CPU slots)."""
+
+    __slots__ = ("env", "name", "capacity", "_in_use", "_waiters")
 
     def __init__(self, env, capacity, name=""):
         if capacity < 1:

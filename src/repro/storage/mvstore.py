@@ -5,24 +5,88 @@ set of uncommitted (in-flight) versions.  CC mechanisms never mutate the
 chains directly; they go through the engine, which calls
 :meth:`MultiVersionStore.install`, :meth:`commit_transaction` and
 :meth:`abort_transaction`.
+
+Hot-path lookups are index-backed rather than scan-based:
+
+* uncommitted versions are kept per key in a ``{writer_id: version}`` map,
+  so :meth:`own_uncommitted` (one call per read) is O(1);
+* each committed chain carries a parallel array of effective timestamps, so
+  :meth:`latest_committed_before` is a :func:`bisect.bisect` while the chain
+  stays timestamp-ordered (the common case — timestamps are assigned in
+  commit order), with a transparent fallback to the linear scan when mixed
+  CCs break monotonicity;
+* each chain tracks its committed ``{writer_id: version}`` map so
+  :meth:`version_by_writer` never scans;
+* all of that per-key state lives on one :class:`_Chain` object, so the
+  common lookups cost a single dict probe.
 """
 
-from collections import defaultdict
+from bisect import bisect_left, bisect_right
 from itertools import count
 
 from repro.errors import StorageError
 from repro.storage.versions import Version
 
 
+class _Chain:
+    """Committed-version state of one key."""
+
+    __slots__ = ("versions", "ts", "monotone", "by_writer")
+
+    def __init__(self):
+        self.versions = []
+        # Effective timestamps parallel to ``versions`` (None treated as 0.0).
+        self.ts = []
+        # Whether ``ts`` is nondecreasing (bisect-safe).
+        self.monotone = True
+        # writer_id -> committed version (last committed write wins).
+        self.by_writer = {}
+
+    def append(self, version, ts):
+        ts_list = self.ts
+        if ts_list and ts < ts_list[-1]:
+            self.monotone = False
+        self.versions.append(version)
+        ts_list.append(ts)
+        self.by_writer[version.writer] = version
+
+    def replace(self, new_versions, removed, effective_ts):
+        """Install a pruned version list and refresh the derived indexes."""
+        self.versions = new_versions
+        self.ts = [effective_ts(version) for version in new_versions]
+        ts_list = self.ts
+        self.monotone = all(
+            ts_list[i] <= ts_list[i + 1] for i in range(len(ts_list) - 1)
+        )
+        by_writer = self.by_writer
+        for version in removed:
+            if by_writer.get(version.writer) is version:
+                del by_writer[version.writer]
+
+
 class MultiVersionStore:
     """In-memory multi-version storage for a Tebaldi instance."""
 
     def __init__(self):
-        self._committed = defaultdict(list)
-        self._uncommitted = defaultdict(list)
-        self._writes_by_txn = defaultdict(list)
+        # key -> _Chain of committed versions (commit-sequence order).
+        self._committed = {}
+        # key -> {writer_id: uncommitted version}, insertion (install) order.
+        self._uncommitted = {}
+        self._writes_by_txn = {}
         self._commit_seq = count(1)
         self._last_commit_seq = 0
+
+    # -- committed-chain bookkeeping ----------------------------------------
+
+    @staticmethod
+    def _effective_ts(version):
+        return version.timestamp if version.timestamp is not None else 0.0
+
+    def _append_committed(self, key, version):
+        chain = self._committed.get(key)
+        if chain is None:
+            chain = self._committed[key] = _Chain()
+        chain.append(version, self._effective_ts(version))
 
     # -- loading / reading -------------------------------------------------
 
@@ -31,7 +95,7 @@ class MultiVersionStore:
         version = Version(key=key, value=value, writer=writer, writer_type=writer_type)
         version.mark_committed(next(self._commit_seq), timestamp=0.0)
         self._last_commit_seq = version.commit_seq
-        self._committed[key].append(version)
+        self._append_committed(key, version)
         return version
 
     def keys(self):
@@ -40,16 +104,28 @@ class MultiVersionStore:
 
     def committed_versions(self, key):
         """Committed versions of ``key`` in install (commit-sequence) order."""
-        return self._committed.get(key, [])
+        chain = self._committed.get(key)
+        return chain.versions if chain is not None else []
 
     def uncommitted_versions(self, key):
         """In-flight uncommitted versions of ``key`` (install order)."""
-        return self._uncommitted.get(key, [])
+        per_key = self._uncommitted.get(key)
+        if not per_key:
+            return []
+        return list(per_key.values())
+
+    def uncommitted_map(self, key):
+        """The live ``{writer_id: version}`` map of ``key`` (or ``None``).
+
+        Hot-path variant of :meth:`uncommitted_versions` that avoids the
+        list copy; callers must not mutate the store while iterating it.
+        """
+        return self._uncommitted.get(key)
 
     def latest_committed(self, key):
         """Most recently committed version of ``key`` or ``None``."""
         chain = self._committed.get(key)
-        return chain[-1] if chain else None
+        return chain.versions[-1] if chain is not None else None
 
     def latest_committed_before(self, key, timestamp, strict=True):
         """Latest committed version with CC timestamp below ``timestamp``.
@@ -59,32 +135,45 @@ class MultiVersionStore:
         back to treating their commit as happening at timestamp 0, i.e. they
         are visible to every snapshot.
         """
-        chain = self._committed.get(key, [])
-        # Commit timestamps are assigned in commit order, so the chain is
-        # timestamp-ordered and the newest visible version is found by
-        # scanning backwards and stopping at the first match.
-        for version in reversed(chain):
-            ts = version.timestamp if version.timestamp is not None else 0.0
-            visible = ts < timestamp if strict else ts <= timestamp
-            if visible:
-                return version
+        chain = self._committed.get(key)
+        if chain is None:
+            return None
+        ts_list = chain.ts
+        if chain.monotone:
+            # Timestamps are assigned in commit order, so the chain is
+            # timestamp-ordered and the newest visible version is the one
+            # just left of the bisection point.
+            if strict:
+                index = bisect_left(ts_list, timestamp)
+            else:
+                index = bisect_right(ts_list, timestamp)
+            return chain.versions[index - 1] if index else None
+        # Mixed-CC chain (out-of-order timestamps): scan backwards and stop
+        # at the first visible version, exactly as before the index rewrite.
+        versions = chain.versions
+        for index in range(len(versions) - 1, -1, -1):
+            ts = ts_list[index]
+            if ts < timestamp if strict else ts <= timestamp:
+                return versions[index]
         return None
 
     def own_uncommitted(self, key, txn_id):
         """The uncommitted version of ``key`` written by ``txn_id``, if any."""
-        for version in reversed(self._uncommitted.get(key, [])):
-            if version.writer == txn_id:
-                return version
-        return None
+        per_key = self._uncommitted.get(key)
+        if per_key is None:
+            return None
+        return per_key.get(txn_id)
 
     def version_by_writer(self, key, txn_id):
         """The (committed or uncommitted) version of ``key`` written by a txn."""
-        for version in reversed(self._uncommitted.get(key, [])):
-            if version.writer == txn_id:
+        per_key = self._uncommitted.get(key)
+        if per_key is not None:
+            version = per_key.get(txn_id)
+            if version is not None:
                 return version
-        for version in reversed(self._committed.get(key, [])):
-            if version.writer == txn_id:
-                return version
+        chain = self._committed.get(key)
+        if chain is not None:
+            return chain.by_writer.get(txn_id)
         return None
 
     def last_commit_seq(self):
@@ -100,21 +189,29 @@ class MultiVersionStore:
         uncommitted version (the intermediate value is superseded, matching
         the buffered-writes model of the paper).
         """
-        for version in self._uncommitted.get(key, []):
-            if version.writer == txn.txn_id:
-                version.value = value
-                return version
+        txn_id = txn.txn_id
+        per_key = self._uncommitted.get(key)
+        if per_key is None:
+            per_key = self._uncommitted[key] = {}
+        else:
+            own = per_key.get(txn_id)
+            if own is not None:
+                own.value = value
+                return own
         version = Version(
             key=key,
             value=value,
-            writer=txn.txn_id,
+            writer=txn_id,
             writer_type=txn.txn_type,
             epoch=txn.gc_epoch,
             timestamp=txn.cc_timestamp,
             start_timestamp=txn.start_timestamp,
         )
-        self._uncommitted[key].append(version)
-        self._writes_by_txn[txn.txn_id].append(version)
+        per_key[txn_id] = version
+        writes = self._writes_by_txn.get(txn_id)
+        if writes is None:
+            writes = self._writes_by_txn[txn_id] = []
+        writes.append(version)
         return version
 
     def commit_transaction(self, txn, timestamp=None):
@@ -124,25 +221,45 @@ class MultiVersionStore:
         defines the total order of versions per object.
         """
         versions = self._writes_by_txn.pop(txn.txn_id, [])
-        committed = []
+        uncommitted = self._uncommitted
+        committed_chains = self._committed
+        seq = self._last_commit_seq
         for version in versions:
             seq = next(self._commit_seq)
-            version.mark_committed(seq, timestamp=timestamp)
-            self._last_commit_seq = seq
-            chain = self._uncommitted.get(version.key, [])
-            if version in chain:
-                chain.remove(version)
-            self._committed[version.key].append(version)
-            committed.append(version)
-        return committed
+            # Inlined mark_committed / _append_committed (hot commit loop).
+            version.committed = True
+            version.commit_seq = seq
+            if timestamp is not None:
+                version.timestamp = timestamp
+            key = version.key
+            per_key = uncommitted.get(key)
+            if per_key is not None:
+                per_key.pop(version.writer, None)
+                if not per_key:
+                    del uncommitted[key]
+            chain = committed_chains.get(key)
+            if chain is None:
+                chain = committed_chains[key] = _Chain()
+            ts = version.timestamp
+            ts = ts if ts is not None else 0.0
+            ts_list = chain.ts
+            if ts_list and ts < ts_list[-1]:
+                chain.monotone = False
+            chain.versions.append(version)
+            ts_list.append(ts)
+            chain.by_writer[version.writer] = version
+        self._last_commit_seq = seq
+        return versions
 
     def abort_transaction(self, txn):
         """Discard every uncommitted version written by ``txn``."""
         versions = self._writes_by_txn.pop(txn.txn_id, [])
         for version in versions:
-            chain = self._uncommitted.get(version.key, [])
-            if version in chain:
-                chain.remove(version)
+            per_key = self._uncommitted.get(version.key)
+            if per_key is not None:
+                per_key.pop(version.writer, None)
+                if not per_key:
+                    del self._uncommitted[version.key]
         return len(versions)
 
     def writes_of(self, txn_id):
@@ -156,11 +273,11 @@ class MultiVersionStore:
         if keep_last < 1:
             raise StorageError("prune() must keep at least one version")
         chain = self._committed.get(key)
-        if not chain or len(chain) <= keep_last:
+        if chain is None or len(chain.versions) <= keep_last:
             return 0
-        removed = len(chain) - keep_last
-        self._committed[key] = chain[-keep_last:]
-        return removed
+        removed = chain.versions[:-keep_last]
+        chain.replace(chain.versions[-keep_last:], removed, self._effective_ts)
+        return len(removed)
 
     def prune_epochs(self, max_epoch, keep_last=1):
         """Drop committed versions from GC epochs ``<= max_epoch``.
@@ -169,30 +286,30 @@ class MultiVersionStore:
         future readers observe the current database state.
         """
         removed = 0
-        for key, chain in self._committed.items():
-            if len(chain) <= keep_last:
+        for chain in self._committed.values():
+            versions = chain.versions
+            if len(versions) <= keep_last:
                 continue
-            keep = chain[-keep_last:]
-            head = [
-                v for v in chain[:-keep_last] if v.epoch > max_epoch
-            ]
-            new_chain = head + keep
-            removed += len(chain) - len(new_chain)
-            self._committed[key] = new_chain
+            head = [v for v in versions[:-keep_last] if v.epoch > max_epoch]
+            if len(head) + keep_last == len(versions):
+                continue
+            dropped = [v for v in versions[:-keep_last] if v.epoch <= max_epoch]
+            chain.replace(head + versions[-keep_last:], dropped, self._effective_ts)
+            removed += len(dropped)
         return removed
 
     def version_count(self):
         """Total number of committed versions currently retained."""
-        return sum(len(chain) for chain in self._committed.values())
+        return sum(len(chain.versions) for chain in self._committed.values())
 
     # -- snapshot / recovery helpers -------------------------------------------
 
     def latest_state(self):
         """Map of key -> value of the latest committed version (for recovery)."""
         return {
-            key: chain[-1].value
+            key: chain.versions[-1].value
             for key, chain in self._committed.items()
-            if chain
+            if chain.versions
         }
 
     def clear(self):

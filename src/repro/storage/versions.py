@@ -4,7 +4,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class Version:
     """A single version of a data object.
 

@@ -1,6 +1,20 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
+from hypothesis import Phase, settings
+
+# Hypothesis profiles: "fast" keeps the default tier-1 run snappy (no
+# shrinking phase), "ci" digs deeper.  Select with HYPOTHESIS_PROFILE=ci.
+settings.register_profile(
+    "fast",
+    max_examples=25,
+    deadline=None,
+    phases=[Phase.explicit, Phase.reuse, Phase.generate],
+)
+settings.register_profile("ci", max_examples=200, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))
 
 from repro.core.config import Configuration, leaf, monolithic, node
 from repro.core.engine import EngineOptions, TebaldiEngine

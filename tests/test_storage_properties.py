@@ -1,0 +1,190 @@
+"""Property tests for :class:`MultiVersionStore` invariants.
+
+The store's hot-path lookups are index-backed (per-key writer maps, bisect
+over the timestamp-ordered committed chain).  These tests drive random
+operation sequences against the store while mirroring them in a naive
+list-based model with the pre-index semantics, and assert the two always
+agree — in particular that install/commit/abort/prune never lose the newest
+committed version and that ``latest_committed_before`` matches a naive
+backward scan (including non-monotone chains, where the bisect fast path
+must fall back).
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.transaction import Transaction
+from repro.storage.mvstore import MultiVersionStore
+
+KEYS = ("a", "b", "c")
+PROBE_TIMESTAMPS = (0.0, 1.0, 5.0, 10.5, 21.0)
+
+
+def _naive_latest_before(chain, timestamp, strict):
+    for version in reversed(chain):
+        ts = version.timestamp if version.timestamp is not None else 0.0
+        if ts < timestamp if strict else ts <= timestamp:
+            return version
+    return None
+
+
+def _naive_version_by_writer(uncommitted, committed, txn_id):
+    for version in reversed(uncommitted):
+        if version.writer == txn_id:
+            return version
+    for version in reversed(committed):
+        if version.writer == txn_id:
+            return version
+    return None
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("install"),
+            st.sampled_from(KEYS),
+            st.integers(0, 3),
+            st.integers(0, 5),
+        ),
+        st.tuples(
+            st.just("commit"),
+            st.integers(0, 3),
+            st.one_of(st.none(), st.integers(0, 20)),
+        ),
+        st.tuples(st.just("abort"), st.integers(0, 3)),
+        st.tuples(st.just("load"), st.sampled_from(KEYS), st.integers(0, 5)),
+        st.tuples(st.just("prune"), st.sampled_from(KEYS), st.integers(1, 3)),
+        st.tuples(st.just("prune_epochs"), st.integers(0, 3)),
+    ),
+    max_size=50,
+)
+
+
+@given(ops=_OPS)
+def test_store_agrees_with_naive_model(ops):
+    store = MultiVersionStore()
+    committed = {key: [] for key in KEYS}
+    uncommitted = {key: [] for key in KEYS}
+    open_txns = []
+    writes = {}
+    seen_writers = {0}
+    next_txn_id = 1
+
+    for op in ops:
+        kind = op[0]
+        if kind == "install":
+            _, key, slot, value = op
+            index = slot % (len(open_txns) + 1)
+            if index == len(open_txns):
+                txn = Transaction(txn_id=next_txn_id, txn_type="t")
+                txn.gc_epoch = next_txn_id % 3
+                next_txn_id += 1
+                open_txns.append(txn)
+                writes[txn.txn_id] = []
+                seen_writers.add(txn.txn_id)
+            txn = open_txns[index]
+            version = store.install(key, {"v": value}, txn)
+            existing = [v for v in uncommitted[key] if v.writer == txn.txn_id]
+            if existing:
+                assert version is existing[0]
+            else:
+                uncommitted[key].append(version)
+                writes[txn.txn_id].append(version)
+        elif kind == "commit":
+            _, slot, timestamp = op
+            if not open_txns:
+                continue
+            txn = open_txns.pop(slot % len(open_txns))
+            ts = float(timestamp) if timestamp is not None else None
+            store.commit_transaction(txn, timestamp=ts)
+            for version in writes.pop(txn.txn_id):
+                uncommitted[version.key].remove(version)
+                committed[version.key].append(version)
+        elif kind == "abort":
+            _, slot = op
+            if not open_txns:
+                continue
+            txn = open_txns.pop(slot % len(open_txns))
+            store.abort_transaction(txn)
+            for version in writes.pop(txn.txn_id):
+                uncommitted[version.key].remove(version)
+        elif kind == "load":
+            _, key, value = op
+            version = store.load(key, {"v": value})
+            committed[key].append(version)
+        elif kind == "prune":
+            _, key, keep_last = op
+            if not committed[key]:
+                continue
+            store.prune(key, keep_last=keep_last)
+            committed[key] = committed[key][-keep_last:]
+        elif kind == "prune_epochs":
+            (_, max_epoch) = op
+            store.prune_epochs(max_epoch)
+            for key, chain in committed.items():
+                if len(chain) <= 1:
+                    continue
+                committed[key] = [
+                    v for v in chain[:-1] if v.epoch > max_epoch
+                ] + chain[-1:]
+
+        # -- invariants after every operation ------------------------------
+        for key in KEYS:
+            chain = committed[key]
+            got_chain = store.committed_versions(key)
+            assert len(got_chain) == len(chain)
+            assert all(a is b for a, b in zip(got_chain, chain))
+            latest = store.latest_committed(key)
+            assert latest is (chain[-1] if chain else None)
+            got_uncommitted = store.uncommitted_versions(key)
+            assert len(got_uncommitted) == len(uncommitted[key])
+            assert all(a is b for a, b in zip(got_uncommitted, uncommitted[key]))
+            for timestamp in PROBE_TIMESTAMPS:
+                for strict in (True, False):
+                    assert store.latest_committed_before(
+                        key, timestamp, strict=strict
+                    ) is _naive_latest_before(chain, timestamp, strict)
+            for writer in seen_writers:
+                assert store.version_by_writer(key, writer) is _naive_version_by_writer(
+                    uncommitted[key], chain, writer
+                )
+                own = store.own_uncommitted(key, writer)
+                naive_own = next(
+                    (v for v in reversed(uncommitted[key]) if v.writer == writer),
+                    None,
+                )
+                assert own is naive_own
+
+
+@given(
+    timestamps=st.lists(st.integers(0, 8), min_size=1, max_size=12),
+    probe=st.integers(0, 9),
+)
+def test_bisect_matches_naive_on_sorted_chains(timestamps, probe):
+    """Monotone chains (the bisect fast path) with duplicate timestamps."""
+    store = MultiVersionStore()
+    chain = []
+    for index, ts in enumerate(sorted(timestamps)):
+        txn = Transaction(txn_id=index + 1, txn_type="t")
+        store.install(("k",), {"v": index}, txn)
+        store.commit_transaction(txn, timestamp=float(ts))
+        chain.append(store.latest_committed(("k",)))
+    for strict in (True, False):
+        assert store.latest_committed_before(
+            ("k",), float(probe), strict=strict
+        ) is _naive_latest_before(chain, float(probe), strict)
+
+
+def test_newest_committed_survives_prune_cycles():
+    """Explicit regression: prune/prune_epochs always keep the newest version."""
+    store = MultiVersionStore()
+    for index in range(6):
+        txn = Transaction(txn_id=index + 1, txn_type="t")
+        txn.gc_epoch = index
+        store.install(("k",), {"v": index}, txn)
+        store.commit_transaction(txn, timestamp=float(index))
+    assert store.prune(("k",), keep_last=3) == 3
+    assert store.latest_committed(("k",)).value == {"v": 5}
+    assert store.prune_epochs(max_epoch=10) == 2
+    assert store.latest_committed(("k",)).value == {"v": 5}
+    assert store.latest_committed_before(("k",), 100.0).value == {"v": 5}
