@@ -1,15 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 gate: unit/property tests plus the quick speed smoke.
+# Tier-1 gate: unit/property tests, the quick speed smoke, a quick
+# checked-run smoke (isolation oracle in the loop) and an examples smoke.
 #
-# Usage: scripts/check.sh
+# Usage: scripts/check.sh [--quick]
+#
+#   --quick   skip the examples run smoke (compile-only) for the fastest
+#             useful gate; everything else always runs.
 #
 # The speed smoke (benchmarks/bench_speed.py --quick) runs tiny versions of
 # the three benchmark scenarios and verifies the fixed-seed behavior
 # fingerprint against the recorded baseline in BENCH_speed.json, so both
-# functional and performance regressions fail loudly.
+# functional and performance regressions fail loudly.  The checked-run
+# smoke gates micro and SmallBank runs under two CC trees each on the Adya
+# isolation oracle (python -m repro.harness --quick).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+fi
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
@@ -19,6 +30,21 @@ python -m pytest -x -q
 echo
 echo "== speed smoke (quick) =="
 python benchmarks/bench_speed.py --quick
+
+echo
+echo "== checked-run smoke (isolation oracle) =="
+python -m repro.harness --workload micro --config 2pl --config 2layer --quick
+python -m repro.harness --workload smallbank --config ssi --config 3layer --quick
+
+echo
+echo "== examples smoke =="
+python -m compileall -q examples
+if [[ "$QUICK" == "0" ]]; then
+  python examples/quickstart.py > /dev/null
+  echo "examples/quickstart.py ran clean"
+else
+  echo "(compile-only: --quick)"
+fi
 
 echo
 echo "check.sh: all good"

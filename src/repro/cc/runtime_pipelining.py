@@ -69,6 +69,14 @@ class RuntimePipelining(ConcurrencyControl):
         self.progress = Condition(engine.env, name=f"rp-progress@{node.node_id}")
         self._active = {}
         self._step_committed = {}
+        # key -> {txn_id: (txn, mode)}: still-active transactions that have
+        # step-committed (released) an access to the key.  Lock handoff order
+        # defines the pipeline order, and it must survive the release: a
+        # later conflicting access has to be ordered after these
+        # transactions even though the lock table no longer sees them
+        # (otherwise the rw anti-dependency of a passed *reader* is lost and
+        # ordering cycles close undetected).
+        self._passed = {}
         # Flattened copies of the analysis lookup for the per-operation path.
         self._table_to_step = dict(self.analysis.table_to_step)
         self._last_step = max(self.analysis.num_steps - 1, 0)
@@ -90,7 +98,7 @@ class RuntimePipelining(ConcurrencyControl):
     def start(self, txn):
         state = self.state(txn)
         state["step"] = -1
-        state["step_keys"] = set()
+        state["step_keys"] = {}
         self._active[txn.txn_id] = txn
 
     # -- execution phase -----------------------------------------------------------------
@@ -115,19 +123,24 @@ class RuntimePipelining(ConcurrencyControl):
             return self._advance_and_acquire(txn, key, mode, state, target)
         wait = self.locks.request(txn, key, mode)
         if wait is not None:
-            return self._acquire_and_track(key, state, wait)
-        step_keys = state.get("step_keys")
-        if step_keys is None:
-            step_keys = state["step_keys"] = set()
-        step_keys.add(key)
+            return self._acquire_and_track(txn, key, mode, state, wait)
+        if key in self._passed:
+            self._order_after_passed(txn, key, mode)
+        self._track_step_key(key, mode, state)
         return None
 
-    def _acquire_and_track(self, key, state, wait):
-        yield from wait
+    def _track_step_key(self, key, mode, state):
         step_keys = state.get("step_keys")
         if step_keys is None:
-            step_keys = state["step_keys"] = set()
-        step_keys.add(key)
+            step_keys = state["step_keys"] = {}
+        if step_keys.get(key) != EXCLUSIVE:
+            step_keys[key] = mode
+
+    def _acquire_and_track(self, txn, key, mode, state, wait):
+        yield from wait
+        if key in self._passed:
+            self._order_after_passed(txn, key, mode)
+        self._track_step_key(key, mode, state)
 
     def _advance_and_acquire(self, txn, key, mode, state, target):
         self._step_commit(txn, state)
@@ -137,7 +150,46 @@ class RuntimePipelining(ConcurrencyControl):
         wait = self.locks.request(txn, key, mode)
         if wait is not None:
             yield from wait
-        state["step_keys"].add(key)
+        if key in self._passed:
+            self._order_after_passed(txn, key, mode)
+        self._track_step_key(key, mode, state)
+
+    def _order_after_passed(self, txn, key, mode):
+        """Order ``txn`` after conflicting step-committed accessors of ``key``.
+
+        The step locks were already released, so the lock table cannot record
+        these dependencies; without them a write after a passed *read* drops
+        the rw anti-dependency and the pipeline order can silently invert.
+        """
+        passed = self._passed.get(key)
+        if not passed:
+            return
+        txn_id = txn.txn_id
+        stale = None
+        for other_id, (other, other_mode) in passed.items():
+            if other_id == txn_id:
+                continue
+            if not other.is_active or other_id not in self._active:
+                if stale is None:
+                    stale = []
+                stale.append(other_id)
+                continue
+            if mode == SHARED and other_mode == SHARED:
+                continue
+            if self.same_child_group(txn, other):
+                continue
+            if self.engine.depends_transitively(other_id, txn_id):
+                # The passed accessor is already ordered after us; adopting
+                # the handoff order as well would close an ordering cycle.
+                if self.engine.profiler is not None:
+                    self.engine.profiler.record_abort(txn, "order-conflict", other)
+                raise TransactionAborted(txn.txn_id, "order-conflict")
+            txn.add_dependency(other_id)
+        if stale:
+            for other_id in stale:
+                passed.pop(other_id, None)
+            if not passed:
+                self._passed.pop(key, None)
 
     def _signal_advance(self, txn, state=None):
         """Wake transactions waiting for this transaction's pipeline progress."""
@@ -157,15 +209,37 @@ class RuntimePipelining(ConcurrencyControl):
         return event
 
     def _step_commit(self, txn, state):
-        """Release the previous step's locks and expose its writes."""
-        step_keys = state.get("step_keys", set())
-        for key in step_keys:
+        """Release the previous step's locks and expose its writes.
+
+        Released accesses are remembered in ``_passed`` (until the
+        transaction finishes): the pipeline order they established must keep
+        constraining later conflicting accesses to the same keys.
+        """
+        step_keys = state.get("step_keys")
+        if not step_keys:
+            state["step_keys"] = {}
+            return
+        passed = self._passed
+        passed_keys = state.get("passed_keys")
+        if passed_keys is None:
+            passed_keys = state["passed_keys"] = []
+        for key, mode in step_keys.items():
             version = self.engine.store.own_uncommitted(key, txn.txn_id)
             if version is not None:
                 self._step_committed[key] = version
-        if step_keys:
-            self.locks.release(txn, step_keys)
-        state["step_keys"] = set()
+            entry = passed.get(key)
+            if entry is None:
+                entry = passed[key] = {}
+            previous = entry.get(txn.txn_id)
+            if previous is None:
+                entry[txn.txn_id] = (txn, mode)
+                passed_keys.append(key)
+            elif previous[1] != EXCLUSIVE:
+                # Never downgrade: a later re-read must not weaken the
+                # ordering constraint of an earlier passed write.
+                entry[txn.txn_id] = (txn, mode)
+        self.locks.release(txn, step_keys)
+        state["step_keys"] = {}
 
     def _wait_for_pipeline(self, txn, step):
         # Only dependencies that are still active in this node can gate the
@@ -257,6 +331,17 @@ class RuntimePipelining(ConcurrencyControl):
         self._active.pop(txn.txn_id, None)
         state = self.state(txn)
         state["step"] = self.analysis.num_steps + 1
+        passed_keys = state.get("passed_keys")
+        if passed_keys:
+            txn_id = txn.txn_id
+            passed = self._passed
+            for key in passed_keys:
+                entry = passed.get(key)
+                if entry is not None:
+                    entry.pop(txn_id, None)
+                    if not entry:
+                        del passed[key]
+            state["passed_keys"] = []
         self.locks.cancel_waits(txn)
         self.locks.release_all(txn)
         self._signal_advance(txn, state)

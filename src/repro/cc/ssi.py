@@ -88,7 +88,15 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
         return self._commit_ts.get(version.writer, 0)
 
     def _mark_antidependency(self, reader, writer):
-        """Record the rw edge reader --> writer and doom detected pivots."""
+        """Record the rw edge reader --> writer and doom detected pivots.
+
+        When the rw edge turns ``writer`` into a pivot (both an incoming and
+        an outgoing anti-dependency) *after* it already committed, the pivot
+        itself can no longer be aborted — the only way to break the dangerous
+        structure is to abort the reader that just discovered it (the
+        committed-pivot rule of Ports & Grittner's SSI; this is how the
+        read-only anomaly is stopped once the pivot has won the race).
+        """
         reader_entity = self._entity(reader)
         writer_entity = self._entity(writer) if writer is not None else None
         self._out_antidep.add(reader_entity)
@@ -96,6 +104,8 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
             self._in_antidep.add(writer_entity)
             if writer_entity in self._out_antidep:
                 self._doomed.add(writer_entity)
+                if writer.committed:
+                    self._abort(reader, "ssi-committed-pivot", writer)
         if reader_entity in self._in_antidep:
             self._doomed.add(reader_entity)
 

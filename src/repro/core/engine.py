@@ -100,6 +100,10 @@ class TebaldiEngine:
         self.committed_ids = set()
         self.aborted_ids = set()
         self.committed_history = deque(maxlen=self.options.history_limit)
+        # Optional streaming isolation recorder (see repro.isolation.history):
+        # notified with every commit's installed versions and every abort, so
+        # checked runs observe the authoritative version order even after GC.
+        self.history_recorder = None
         self._paused_types = set()
         self._draining = False
 
@@ -281,6 +285,8 @@ class TebaldiEngine:
         self.stats.record_commit(txn)
         if self.options.keep_history:
             self.committed_history.append(txn)
+        if self.history_recorder is not None:
+            self.history_recorder.on_commit(txn, versions)
         self.gc.finish_transaction(txn)
         return versions
 
@@ -304,6 +310,8 @@ class TebaldiEngine:
             finish_hook(txn, committed=False)
         self.aborted_ids.add(txn.txn_id)
         self._retire(txn)
+        if self.history_recorder is not None:
+            self.history_recorder.on_abort(txn)
         self.stats.record_abort(txn, reason)
         self.gc.finish_transaction(txn)
         self.commit_condition.notify_all()

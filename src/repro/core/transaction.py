@@ -82,6 +82,9 @@ class Transaction:
     # Durability / garbage collection.
     gc_epoch: int = 0
     global_gcp_epoch: int = 0
+    # Guards GarbageCollector.finish_transaction against double finishes
+    # (abort-during-commit cleanup paths).
+    gc_finished: bool = False
 
     # Set by the engine at begin time: a one-shot event triggered when the
     # transaction commits or aborts (used for targeted dependency waits).

@@ -1,14 +1,16 @@
-"""Benchmark harness: closed-loop clients, parameter sweeps, reporting."""
+"""Benchmark harness: closed-loop clients, checked runs, sweeps, reporting."""
 
-from repro.harness.runner import BenchmarkRunner, RunResult
+from repro.harness.runner import BenchmarkRunner, RunResult, run_benchmark
 from repro.harness.sweep import client_sweep, peak_throughput
-from repro.harness.report import format_table, format_series
+from repro.harness.report import format_table, format_series, format_run_results
 
 __all__ = [
     "BenchmarkRunner",
     "RunResult",
+    "run_benchmark",
     "client_sweep",
     "peak_throughput",
     "format_table",
     "format_series",
+    "format_run_results",
 ]

@@ -1,0 +1,175 @@
+"""Checked-run command line: benchmark any workload × CC tree with the oracle in the loop.
+
+``python -m repro.harness`` builds a closed-loop run for a workload and one
+or more named CC-tree configurations, measures throughput, and — unless
+``--no-check`` is given — streams the committed history into the Adya
+isolation checker and fails (exit code 1) on any aborted read, intermediate
+read or DSG cycle.  Every workload × configuration × client-count cell is
+checked independently, so a violation pinpoints the offending combination.
+
+Examples::
+
+    python -m repro.harness --list
+    python -m repro.harness --workload smallbank --clients 20 --duration 1
+    python -m repro.harness --workload tpcc --config tebaldi-3layer --clients 10 20 40
+    python -m repro.harness --workload ycsb --ycsb-profile e --quick
+"""
+
+import argparse
+import sys
+
+from repro.harness.configs import WORKLOAD_CONFIGURATIONS
+from repro.harness.report import format_run_results
+from repro.harness.runner import run_benchmark
+from repro.isolation.checker import ISOLATION_LEVELS
+from repro.workloads.micro import CrossGroupConflictWorkload
+from repro.workloads.seats import SEATSWorkload
+from repro.workloads.smallbank import SmallBankWorkload
+from repro.workloads.tpcc import TPCCWorkload
+from repro.workloads.ycsb import YCSBWorkload
+
+
+def build_workload(name, ycsb_profile="a"):
+    """Construct a workload at the CLI's laptop-scale defaults."""
+    if name == "tpcc":
+        return TPCCWorkload(warehouses=2)
+    if name == "seats":
+        return SEATSWorkload(flights=10)
+    if name == "micro":
+        return CrossGroupConflictWorkload(shared_rows=20, cold_rows=1000, operations=5)
+    if name == "smallbank":
+        return SmallBankWorkload(customers=500, hot_accounts=10)
+    if name == "ycsb":
+        return YCSBWorkload(records=1000, profile=ycsb_profile)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def list_registry(out=print):
+    out("workload × configuration registry:")
+    for workload, configurations in sorted(WORKLOAD_CONFIGURATIONS.items()):
+        out(f"  {workload}: {', '.join(sorted(configurations))}")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--workload",
+        choices=sorted(WORKLOAD_CONFIGURATIONS),
+        help="workload to run (see --list for the registry)",
+    )
+    parser.add_argument(
+        "--config",
+        action="append",
+        default=None,
+        help="configuration name(s); repeatable; default: every registered tree",
+    )
+    parser.add_argument(
+        "--clients", type=int, nargs="+", default=[20],
+        help="closed-loop client count(s); several values form a sweep",
+    )
+    parser.add_argument("--duration", type=float, default=1.0, help="measured virtual seconds")
+    parser.add_argument("--warmup", type=float, default=0.2, help="warmup virtual seconds")
+    parser.add_argument("--seed", type=int, default=7, help="client RNG seed")
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="skip the isolation oracle (pure speed run)",
+    )
+    parser.add_argument(
+        "--level", choices=ISOLATION_LEVELS, default="serializable",
+        help="isolation level the oracle checks against",
+    )
+    parser.add_argument(
+        "--history-window", type=int, default=None,
+        help="bound the recorder to the most recent N committed transactions",
+    )
+    parser.add_argument(
+        "--ycsb-profile", choices=("a", "b", "e"), default="a",
+        help="YCSB operation mix (read/update, read-heavy, scan-heavy)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny smoke run (8 clients, 0.3s measured, 0.1s warmup)",
+    )
+    parser.add_argument("--list", action="store_true", help="print the registry and exit")
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        list_registry()
+        return 0
+    if args.workload is None:
+        parser.error("--workload is required (or use --list)")
+
+    configurations = WORKLOAD_CONFIGURATIONS[args.workload]
+    config_names = args.config or sorted(configurations)
+    unknown = [name for name in config_names if name not in configurations]
+    if unknown:
+        parser.error(
+            f"unknown configuration(s) {unknown} for {args.workload}; "
+            f"available: {sorted(configurations)}"
+        )
+
+    clients_list = list(args.clients)
+    duration, warmup = args.duration, args.warmup
+    if args.quick:
+        clients_list, duration, warmup = [8], 0.3, 0.1
+
+    check = not args.no_check
+    results, violations = [], []
+    for config_name in config_names:
+        for clients in clients_list:
+            workload = build_workload(args.workload, ycsb_profile=args.ycsb_profile)
+            configuration = configurations[config_name]()
+            result = run_benchmark(
+                workload,
+                configuration,
+                clients=clients,
+                duration=duration,
+                warmup=warmup,
+                seed=args.seed,
+                check_isolation=check,
+                isolation_level=args.level,
+                history_window=args.history_window,
+                raise_on_violation=False,
+            )
+            results.append(result)
+            report = result.extra.get("isolation")
+            if report is None:
+                status = "unchecked"
+            elif report.ok:
+                status = f"isolation OK ({report.num_transactions} txns, {report.num_edges} edges)"
+            else:
+                status = "ISOLATION VIOLATION: " + report.describe()
+                violations.append((config_name, clients, report))
+            print(
+                f"{args.workload}/{config_name} clients={clients}: "
+                f"{result.throughput:.0f} txn/s, abort={result.abort_rate:.1%} — {status}"
+            )
+
+    print()
+    print(format_run_results(results))
+    if violations:
+        print(f"\n{len(violations)} isolation violation(s):", file=sys.stderr)
+        for config_name, clients, report in violations:
+            print(
+                f"  {args.workload}/{config_name} clients={clients}: {report.describe()}",
+                file=sys.stderr,
+            )
+        return 1
+    if check:
+        print(
+            f"\nall {len(results)} checked runs passed the isolation oracle "
+            f"at level={args.level!r}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,13 @@ Tebaldi's two- and three-layer hierarchies.  The extensibility experiment
 (Section 4.6.3) adds the four-layer tree with ``hot_item``.  SEATS
 (Section 4.6.2, Figure 4.8) uses a monolithic 2PL baseline, a two-layer
 SSI+2PL tree and the three-layer tree with per-flight TSO instances.
+
+Beyond the paper's own evaluation, this module also defines hierarchical
+trees for the cross-group micro workload, SmallBank and the YCSB-style
+workload, and a ``WORKLOAD_CONFIGURATIONS`` registry mapping each workload
+name to its named configuration factories — the checked-run harness
+(``python -m repro.harness``) gates every workload × configuration pair on
+the isolation oracle through this registry.
 """
 
 from repro.core.config import Configuration, leaf, monolithic, node
@@ -230,6 +237,163 @@ def initial_configuration(transaction_types, read_only_types):
     return Configuration(node("ssi", *children, label="Initial"), name="initial")
 
 
+# ---------------------------------------------------------------------------
+# Cross-group micro workload (Figure 4.10 shapes, used by the checked runs)
+# ---------------------------------------------------------------------------
+
+MICRO_TRANSACTIONS = ("group_a_update", "group_b_update")
+
+
+def micro_monolithic_2pl():
+    return monolithic("2pl", MICRO_TRANSACTIONS, name="micro-2pl")
+
+
+def micro_monolithic_ssi():
+    return monolithic("ssi", MICRO_TRANSACTIONS, name="micro-ssi")
+
+
+def micro_2layer():
+    """2PL cross-group over two runtime-pipelining groups."""
+    return Configuration(
+        node(
+            "2pl",
+            leaf("rp", "group_a_update", label="RP(A)"),
+            leaf("rp", "group_b_update", label="RP(B)"),
+            label="Micro-2layer",
+        ),
+        name="micro-2layer",
+    )
+
+
+def micro_ssi_2layer():
+    """SSI cross-group over an RP group and a 2PL group."""
+    return Configuration(
+        node(
+            "ssi",
+            leaf("rp", "group_a_update", label="RP(A)"),
+            leaf("2pl", "group_b_update", label="2PL(B)"),
+            label="Micro-SSI-2layer",
+        ),
+        name="micro-ssi-2layer",
+    )
+
+
+# ---------------------------------------------------------------------------
+# SmallBank configurations
+# ---------------------------------------------------------------------------
+
+SMALLBANK_UPDATES = (
+    "deposit_checking",
+    "transact_savings",
+    "amalgamate",
+    "write_check",
+    "send_payment",
+)
+SMALLBANK_TRANSACTIONS = ("balance",) + SMALLBANK_UPDATES
+
+
+def smallbank_monolithic_2pl():
+    return monolithic("2pl", SMALLBANK_TRANSACTIONS, name="smallbank-2pl")
+
+
+def smallbank_monolithic_ssi():
+    return monolithic("ssi", SMALLBANK_TRANSACTIONS, name="smallbank-ssi")
+
+
+def smallbank_2layer():
+    """SSI separating the read-only balance probe from a 2PL update group."""
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", "balance", label="ReadOnly"),
+            leaf("2pl", *SMALLBANK_UPDATES, label="2PL updates"),
+            label="SmallBank-2layer",
+        ),
+        name="smallbank-2layer",
+    )
+
+
+def smallbank_3layer():
+    """SSI over {read-only, 2PL over {single-row RP group, multi-row 2PL group}}.
+
+    The single-row transactions (deposit_checking, transact_savings,
+    write_check) pipeline well; amalgamate and send_payment touch two
+    customers and stay under plain 2PL.
+    """
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", "balance", label="ReadOnly"),
+            node(
+                "2pl",
+                leaf(
+                    "rp",
+                    "deposit_checking",
+                    "transact_savings",
+                    "write_check",
+                    label="RP(single-row)",
+                ),
+                leaf("2pl", "amalgamate", "send_payment", label="2PL(two-row)"),
+                label="Updates",
+            ),
+            label="SmallBank-3layer",
+        ),
+        name="smallbank-3layer",
+    )
+
+
+# ---------------------------------------------------------------------------
+# YCSB configurations
+# ---------------------------------------------------------------------------
+
+YCSB_UPDATES = ("update_record", "insert_record", "read_modify_write")
+YCSB_READS = ("read_record", "scan_records")
+YCSB_TRANSACTIONS = YCSB_READS + YCSB_UPDATES
+
+
+def ycsb_monolithic_2pl():
+    return monolithic("2pl", YCSB_TRANSACTIONS, name="ycsb-2pl")
+
+
+def ycsb_monolithic_ssi():
+    return monolithic("ssi", YCSB_TRANSACTIONS, name="ycsb-ssi")
+
+
+def ycsb_2layer():
+    """SSI separating reads and scans from a 2PL update group."""
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", *YCSB_READS, label="ReadOnly"),
+            leaf("2pl", *YCSB_UPDATES, label="2PL updates"),
+            label="YCSB-2layer",
+        ),
+        name="ycsb-2layer",
+    )
+
+
+def ycsb_3layer():
+    """SSI over {read-only, 2PL over {RP single-key writers, 2PL inserts}}."""
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", *YCSB_READS, label="ReadOnly"),
+            node(
+                "2pl",
+                leaf("rp", "update_record", "read_modify_write", label="RP(updates)"),
+                leaf("2pl", "insert_record", label="2PL(insert)"),
+                label="Updates",
+            ),
+            label="YCSB-3layer",
+        ),
+        name="ycsb-3layer",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registries
+# ---------------------------------------------------------------------------
+
 TPCC_CONFIGURATIONS = {
     "2pl": tpcc_monolithic_2pl,
     "ssi": tpcc_monolithic_ssi,
@@ -243,4 +407,34 @@ SEATS_CONFIGURATIONS = {
     "2pl": seats_monolithic_2pl,
     "2layer": seats_2layer,
     "3layer": seats_3layer,
+}
+
+MICRO_CONFIGURATIONS = {
+    "2pl": micro_monolithic_2pl,
+    "ssi": micro_monolithic_ssi,
+    "2layer": micro_2layer,
+    "ssi-2layer": micro_ssi_2layer,
+}
+
+SMALLBANK_CONFIGURATIONS = {
+    "2pl": smallbank_monolithic_2pl,
+    "ssi": smallbank_monolithic_ssi,
+    "2layer": smallbank_2layer,
+    "3layer": smallbank_3layer,
+}
+
+YCSB_CONFIGURATIONS = {
+    "2pl": ycsb_monolithic_2pl,
+    "ssi": ycsb_monolithic_ssi,
+    "2layer": ycsb_2layer,
+    "3layer": ycsb_3layer,
+}
+
+#: workload name -> {configuration name -> zero-argument factory}.
+WORKLOAD_CONFIGURATIONS = {
+    "tpcc": TPCC_CONFIGURATIONS,
+    "seats": SEATS_CONFIGURATIONS,
+    "micro": MICRO_CONFIGURATIONS,
+    "smallbank": SMALLBANK_CONFIGURATIONS,
+    "ycsb": YCSB_CONFIGURATIONS,
 }

@@ -2,7 +2,13 @@
 
 
 def format_table(rows, headers):
-    """Format a list of row dicts (or sequences) as an aligned text table."""
+    """Format an iterable of row dicts (or sequences) as an aligned text table.
+
+    Accepts any iterable (including generators) and the empty/None cases: an
+    empty input renders the header and a ``(no data)`` marker instead of
+    crashing, so reporting a failed or empty sweep stays safe.
+    """
+    rows = list(rows) if rows is not None else []
     if rows and isinstance(rows[0], dict):
         table = [[str(row.get(header, "")) for header in headers] for row in rows]
     else:
@@ -17,17 +23,22 @@ def format_table(rows, headers):
     ]
     for row in table:
         lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    if not table:
+        lines.append("(no data)")
     return "\n".join(lines)
 
 
 def format_series(series, label="clients", value="throughput"):
-    """Format an (x, y) series as a two-column table."""
-    rows = [(x, f"{y:.1f}") for x, y in series]
+    """Format an (x, y) series as a two-column table (empty/None y-safe)."""
+    rows = [
+        (x, f"{y:.1f}" if y is not None else "-")
+        for x, y in (series if series is not None else ())
+    ]
     return format_table(rows, headers=[label, value])
 
 
 def format_run_results(results):
-    """Format a list of :class:`~repro.harness.runner.RunResult` objects."""
+    """Format :class:`~repro.harness.runner.RunResult` objects (empty-safe)."""
     rows = [
         {
             "configuration": result.configuration,
@@ -36,7 +47,7 @@ def format_run_results(results):
             "abort rate": f"{result.abort_rate:.1%}",
             "mean latency (ms)": f"{result.mean_latency * 1000:.2f}",
         }
-        for result in results
+        for result in (results if results is not None else ())
     ]
     headers = [
         "configuration",

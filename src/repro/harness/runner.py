@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 from repro.core.engine import EngineOptions, TebaldiEngine
 from repro.errors import TransactionAborted
+from repro.isolation.checker import LEVEL_EDGE_KINDS, check_recorder
+from repro.isolation.history import HistoryRecorder
 from repro.sim.environment import Environment
 from repro.storage.mvstore import MultiVersionStore
 
@@ -56,6 +58,9 @@ class BenchmarkRunner:
         profiler=None,
         mix=None,
         start_services=True,
+        check_isolation=False,
+        isolation_level="serializable",
+        history_window=None,
     ):
         self.workload = workload
         self.configuration = configuration
@@ -75,6 +80,20 @@ class BenchmarkRunner:
             options=self.options,
             profiler=profiler,
         )
+        # Checked-run mode: stream the committed history into a recorder and
+        # verify the run against the Adya isolation oracle after every
+        # measurement.  ``history_window`` bounds recorder memory (ring of
+        # the most recent committed transactions) for long runs.
+        self.isolation_level = isolation_level
+        self.recorder = None
+        if check_isolation:
+            if isolation_level not in LEVEL_EDGE_KINDS:
+                raise ValueError(
+                    f"unknown isolation level {isolation_level!r}; "
+                    f"choose one of {sorted(LEVEL_EDGE_KINDS)}"
+                )
+            self.recorder = HistoryRecorder(max_transactions=history_window)
+            self.engine.history_recorder = self.recorder
         self._stop_event = self.env.event(name="stop")
         self._client_counter = 0
         if self.start_services:
@@ -123,8 +142,17 @@ class BenchmarkRunner:
 
     # -- measurement -------------------------------------------------------------------
 
-    def run(self, clients, duration=5.0, warmup=1.0, mix=None):
-        """Run ``clients`` closed-loop clients and measure steady-state throughput."""
+    def run(self, clients, duration=5.0, warmup=1.0, mix=None, raise_on_violation=True):
+        """Run ``clients`` closed-loop clients and measure steady-state throughput.
+
+        In checked-run mode (``check_isolation=True`` at construction) the
+        recorded history — warmup included — is fed to the isolation checker
+        after the measurement; a violation raises
+        :class:`~repro.errors.IsolationViolation` unless
+        ``raise_on_violation`` is false, and the
+        :class:`~repro.isolation.checker.IsolationReport` is attached to the
+        result as ``extra["isolation"]`` either way.
+        """
         self.add_clients(clients, mix=mix)
         if warmup > 0:
             self.env.run(until=self.env.now + warmup)
@@ -132,7 +160,21 @@ class BenchmarkRunner:
         if self.profiler is not None and hasattr(self.profiler, "reset"):
             self.profiler.reset(self.env.now)
         self.env.run(until=self.env.now + duration)
-        return self.result(clients, duration)
+        result = self.result(clients, duration)
+        if self.recorder is not None:
+            report = self.check_isolation()
+            result.extra["isolation"] = report
+            if raise_on_violation:
+                report.raise_on_violation()
+        return result
+
+    def check_isolation(self):
+        """Check the history recorded so far; returns the report."""
+        if self.recorder is None:
+            raise ValueError(
+                "runner was not built with check_isolation=True; no history recorded"
+            )
+        return check_recorder(self.recorder, level=self.isolation_level)
 
     def run_additional(self, duration):
         """Continue the measurement for ``duration`` more virtual seconds."""
@@ -162,11 +204,26 @@ class BenchmarkRunner:
             self._frozen = False
 
 
-def run_benchmark(workload, configuration, clients, duration=5.0, warmup=1.0, **kwargs):
-    """One-shot helper: build a runner, run it, return the :class:`RunResult`."""
+def run_benchmark(
+    workload,
+    configuration,
+    clients,
+    duration=5.0,
+    warmup=1.0,
+    raise_on_violation=True,
+    **kwargs,
+):
+    """One-shot helper: build a runner, run it, return the :class:`RunResult`.
+
+    Pass ``check_isolation=True`` to gate the run on the isolation oracle;
+    the report lands in ``result.extra["isolation"]`` and a violation raises
+    unless ``raise_on_violation`` is false.
+    """
     runner = BenchmarkRunner(workload, configuration, **kwargs)
     try:
-        result = runner.run(clients, duration=duration, warmup=warmup)
+        result = runner.run(
+            clients, duration=duration, warmup=warmup, raise_on_violation=raise_on_violation
+        )
     finally:
         # Always stop: it also unfreezes the GC state frozen at construction.
         runner.stop()

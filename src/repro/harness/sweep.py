@@ -35,15 +35,22 @@ def client_sweep(
     return series
 
 
-def peak_throughput(series):
-    """The best throughput across a (clients, RunResult) sweep."""
+def peak_throughput(series, default=None):
+    """The best-throughput :class:`RunResult` of a (clients, RunResult) sweep.
+
+    An empty (or ``None``) sweep returns ``default`` instead of ``None``
+    being silently dereferenced downstream — pass a sentinel or check the
+    return value when the sweep may be empty.
+    """
     best = None
-    for _clients, result in series:
+    for _clients, result in series if series is not None else ():
         if best is None or result.throughput > best.throughput:
             best = result
-    return best
+    return best if best is not None else default
 
 
 def sweep_throughputs(series):
-    """Project a sweep to a plain (clients, txn/sec) series."""
+    """Project a sweep to a plain (clients, txn/sec) series (empty-safe)."""
+    if series is None:
+        return []
     return [(clients, result.throughput) for clients, result in series]

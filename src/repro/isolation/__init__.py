@@ -5,16 +5,23 @@ Serialization Graph (Section 2.2.3); isolation levels are characterised by
 the anomalies (aborted/intermediate reads) and DSG cycles they proscribe.
 """
 
-from repro.isolation.history import History, committed_history
+from repro.isolation.history import History, HistoryRecorder, committed_history
 from repro.isolation.dsg import DirectSerializationGraph, build_dsg
-from repro.isolation.checker import IsolationReport, check_engine, check_history
+from repro.isolation.checker import (
+    IsolationReport,
+    check_engine,
+    check_history,
+    check_recorder,
+)
 
 __all__ = [
     "History",
+    "HistoryRecorder",
     "committed_history",
     "DirectSerializationGraph",
     "build_dsg",
     "IsolationReport",
     "check_engine",
     "check_history",
+    "check_recorder",
 ]

@@ -11,6 +11,18 @@ from repro.errors import IsolationViolation
 from repro.isolation.dsg import build_dsg
 from repro.isolation.history import committed_history
 
+#: DSG cycle restrictions per isolation level (Adya's definitions,
+#: item-level only, so repeatable read and serializable coincide).
+LEVEL_EDGE_KINDS = {
+    "read-uncommitted": frozenset({"ww"}),
+    "read-committed": frozenset({"ww", "wr"}),
+    "repeatable-read": frozenset({"ww", "wr", "rw"}),
+    "serializable": frozenset({"ww", "wr", "rw"}),
+}
+
+#: The level names accepted everywhere a level is plumbed through.
+ISOLATION_LEVELS = tuple(LEVEL_EDGE_KINDS)
+
 
 @dataclass
 class IsolationReport:
@@ -55,13 +67,19 @@ class IsolationReport:
 def check_history(history, level="serializable"):
     """Check a history against an isolation level.
 
-    ``level`` is one of ``"serializable"``, ``"repeatable-read"``,
-    ``"read-committed"`` or ``"read-uncommitted"``; the corresponding DSG
+    ``level`` is one of :data:`ISOLATION_LEVELS`; the corresponding DSG
     cycle restrictions follow Adya's definitions (item-level only, so
     repeatable read and serializable coincide, as noted in Section 2.2.3).
+    An unknown level raises ``ValueError`` instead of silently checking
+    serializability.
     """
+    kinds = LEVEL_EDGE_KINDS.get(level)
+    if kinds is None:
+        raise ValueError(
+            f"unknown isolation level {level!r}; choose one of {sorted(LEVEL_EDGE_KINDS)}"
+        )
     report = IsolationReport(num_transactions=len(history))
-    committed = set(history.transactions)
+    committed = history.committed_ids()
 
     # Anomaly 1: aborted reads (a committed txn read a version that never committed).
     for txn in history.transactions.values():
@@ -74,28 +92,21 @@ def check_history(history, level="serializable"):
     # Anomaly 2: intermediate reads are prevented structurally (the storage
     # module overwrites a transaction's earlier uncommitted version of the
     # same key), but double-check: a read's version must be the writer's
-    # final installed version of that key.
+    # final installed version of that key.  One pass over the version orders
+    # builds the final-seq map; a per-read rescan would be quadratic on hot
+    # keys.
+    final_seqs = history.final_write_seqs()
     for txn in history.transactions.values():
         for key, writer, commit_seq in txn.reads:
             if writer not in committed or commit_seq is None:
                 continue
-            final_seq = None
-            for seq, candidate_writer in history.version_orders.get(key, []):
-                if candidate_writer == writer:
-                    final_seq = seq
+            final_seq = final_seqs.get((key, writer))
             if final_seq is not None and commit_seq != final_seq:
                 report.intermediate_reads.append((txn.txn_id, key, writer))
 
     # Circularity.
     dsg = build_dsg(history)
     report.num_edges = dsg.num_edges
-    kinds_by_level = {
-        "read-uncommitted": {"ww"},
-        "read-committed": {"ww", "wr"},
-        "repeatable-read": {"ww", "wr", "rw"},
-        "serializable": {"ww", "wr", "rw"},
-    }
-    kinds = kinds_by_level.get(level, {"ww", "wr", "rw"})
     cycle = dsg.find_cycle(kinds)
     if cycle:
         report.cycles.append(cycle)
@@ -107,3 +118,8 @@ def check_engine(engine, level="serializable"):
     """Extract the committed history of ``engine`` and check it."""
     history = committed_history(engine)
     return check_history(history, level=level)
+
+
+def check_recorder(recorder, level="serializable"):
+    """Check the history streamed into a :class:`HistoryRecorder`."""
+    return check_history(recorder.history(), level=level)

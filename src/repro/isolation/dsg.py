@@ -62,8 +62,8 @@ class DirectSerializationGraph:
 def build_dsg(history):
     """Construct the DSG of a committed history."""
     dsg = DirectSerializationGraph()
-    committed = set(history.transactions)
-    for txn_id in committed:
+    committed = history.committed_ids()
+    for txn_id in history.transactions:
         dsg.graph.add_node(txn_id)
 
     # ww edges: consecutive committed versions of each key.

@@ -3,8 +3,21 @@
 A history records, per committed transaction, the versions it read and the
 versions it installed; together with the per-object version order kept by the
 storage module this is everything Adya's graph-based definitions need.
+
+Histories come from two sources:
+
+* :func:`committed_history` rebuilds one post-hoc from an engine's
+  ``committed_history`` deque and its store — fine for short unit-test runs,
+  but lossy for long benchmark runs where garbage collection prunes version
+  chains and the deque wraps.
+* :class:`HistoryRecorder` streams the history out of a *running* engine:
+  the engine notifies it on every commit and abort, so the recorder observes
+  every committed version (including ones GC later prunes) in commit order.
+  It is the backbone of the harness's ``check_isolation`` mode.
 """
 
+from bisect import bisect_right
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 
@@ -22,14 +35,28 @@ class HistoryTransaction:
 
 @dataclass
 class History:
-    """Committed transactions plus the per-key committed version order."""
+    """Committed transactions plus the per-key committed version order.
+
+    ``extra_committed`` names transactions that are known to have committed
+    but whose read/write details are no longer retained (evicted from a
+    bounded :class:`HistoryRecorder` ring).  The checker treats them as
+    committed so that reads-from and version orders referencing them do not
+    produce false aborted-read reports.
+    """
 
     transactions: dict = field(default_factory=dict)
     version_orders: dict = field(default_factory=dict)   # key -> [(commit_seq, writer)]
     aborted_ids: set = field(default_factory=set)
+    extra_committed: set = field(default_factory=set)
 
     def add_transaction(self, txn):
         self.transactions[txn.txn_id] = txn
+
+    def committed_ids(self):
+        """Every transaction id known to have committed."""
+        if self.extra_committed:
+            return set(self.transactions) | self.extra_committed
+        return set(self.transactions)
 
     def __len__(self):
         return len(self.transactions)
@@ -37,16 +64,146 @@ class History:
     def writers_of(self, key):
         return [writer for _seq, writer in self.version_orders.get(key, [])]
 
+    def _seqs_of(self, key):
+        """Cached ascending commit-sequence list of ``key`` (bisect support)."""
+        cache = getattr(self, "_seq_cache", None)
+        if cache is None:
+            cache = self._seq_cache = {}
+        seqs = cache.get(key)
+        if seqs is None:
+            seqs = cache[key] = [seq for seq, _writer in self.version_orders.get(key, [])]
+        return seqs
+
     def next_writer_after(self, key, commit_seq):
-        """Writer of the next committed version of ``key`` after ``commit_seq``."""
-        for seq, writer in self.version_orders.get(key, []):
-            if seq > commit_seq:
-                return writer, seq
+        """Writer of the next committed version of ``key`` after ``commit_seq``.
+
+        Version orders are ascending in commit sequence, so this is a bisect
+        (hot keys in long histories have thousands of versions; a linear scan
+        per read would make checking quadratic).
+        """
+        order = self.version_orders.get(key)
+        if not order:
+            return None, None
+        index = bisect_right(self._seqs_of(key), commit_seq)
+        if index < len(order):
+            seq, writer = order[index]
+            return writer, seq
         return None, None
+
+    def final_write_seqs(self):
+        """Map of ``(key, writer) -> last committed seq`` over all versions."""
+        final = {}
+        for key, order in self.version_orders.items():
+            for seq, writer in order:
+                final[(key, writer)] = seq
+        return final
 
     def first_writer(self, key):
         order = self.version_orders.get(key, [])
         return order[0][1] if order else None
+
+
+class HistoryRecorder:
+    """Streaming history recorder attached to a running engine.
+
+    The engine calls :meth:`on_commit` (with the freshly committed versions)
+    and :meth:`on_abort` from its commit/abort paths, so the recorder sees
+    the authoritative per-key version order even when garbage collection
+    later prunes the chains or the engine's own history deque wraps.
+
+    Reads are recorded as references to the observed :class:`Version`
+    objects and resolved to ``(key, writer, commit_seq)`` lazily in
+    :meth:`history` — a read of a then-uncommitted version picks up the
+    writer's final commit sequence once the writer commits.
+
+    ``max_transactions`` bounds memory for long runs: the recorder keeps a
+    ring of the most recent committed transactions (their read/write sets)
+    while retaining the full, compact per-key version order.  Evicted
+    transactions surface via ``History.extra_committed`` — derived from the
+    version orders (every evicted *writer* still appears there, and reads
+    only ever reference writers) so eviction leaves no growing side table.
+    """
+
+    def __init__(self, max_transactions=None):
+        self.max_transactions = max_transactions
+        # txn_id -> (txn_type, begin_time, end_time, [(key, commit_seq)], [(key, version)])
+        self._records = OrderedDict()
+        self._version_orders = {}
+        # Insertion-ordered so a window bounds it like the commit ring; old
+        # aborted writers stay detectable anyway (their reads resolve to
+        # commit_seq None and the writer is never in the committed set).
+        self._aborted_ids = OrderedDict()
+        self._evicted = False
+        self.recorded_commits = 0
+
+    def on_commit(self, txn, versions):
+        """Record one committed transaction and its installed versions."""
+        writes = []
+        orders = self._version_orders
+        for version in versions:
+            key = version.key
+            writes.append((key, version.commit_seq))
+            order = orders.get(key)
+            if order is None:
+                order = orders[key] = []
+            order.append((version.commit_seq, version.writer))
+        reads = [
+            (record.key, record.version)
+            for record in txn.reads
+            if record.version is not None
+        ]
+        self._records[txn.txn_id] = (
+            txn.txn_type, txn.begin_time, txn.end_time, writes, reads
+        )
+        self.recorded_commits += 1
+        limit = self.max_transactions
+        if limit is not None:
+            records = self._records
+            while len(records) > limit:
+                records.popitem(last=False)
+                self._evicted = True
+
+    def on_abort(self, txn):
+        """Record that a transaction aborted (readers of it are doomed)."""
+        aborted = self._aborted_ids
+        aborted[txn.txn_id] = None
+        limit = self.max_transactions
+        if limit is not None:
+            while len(aborted) > limit:
+                aborted.popitem(last=False)
+
+    def __len__(self):
+        return len(self._records)
+
+    def history(self):
+        """Materialise the recorded run as a :class:`History`."""
+        extra_committed = set()
+        if self._evicted:
+            retained = self._records
+            extra_committed = {
+                writer
+                for order in self._version_orders.values()
+                for _seq, writer in order
+                if writer not in retained
+            }
+        history = History(
+            version_orders={key: list(order) for key, order in self._version_orders.items()},
+            aborted_ids=set(self._aborted_ids),
+            extra_committed=extra_committed,
+        )
+        for txn_id, (txn_type, begin, end, writes, reads) in self._records.items():
+            record = HistoryTransaction(
+                txn_id=txn_id,
+                txn_type=txn_type,
+                begin_time=begin,
+                end_time=end,
+                writes=list(writes),
+            )
+            record.reads = [
+                (key, version.writer, version.commit_seq) for key, version in reads
+            ]
+            history.add_transaction(record)
+        return history
 
 
 def committed_history(engine):

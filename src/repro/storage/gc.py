@@ -18,6 +18,9 @@ class GarbageCollector:
         self._current_epoch = 1
         self._active = defaultdict(int)
         self._finished_epochs = set()
+        # Highest epoch whose versions have been pruned; collection only ever
+        # extends the contiguous confirmed prefix above this point.
+        self._collected_through = 0
         self._collected_versions = 0
         self._collections = 0
         self._paused = False
@@ -44,10 +47,24 @@ class GarbageCollector:
         return txn.gc_epoch
 
     def finish_transaction(self, txn):
-        """Mark a transaction as finished (committed or aborted)."""
+        """Mark a transaction as finished (committed or aborted).
+
+        Idempotent per transaction: abort-during-commit cleanup paths may
+        reach this twice, and a double decrement would drive the epoch's
+        active count negative — retiring an epoch that still has live
+        transactions.
+        """
+        if txn.gc_finished:
+            return
+        txn.gc_finished = True
         epoch = txn.gc_epoch
-        self._active[epoch] -= 1
-        if self._active[epoch] <= 0 and epoch < self._current_epoch:
+        remaining = self._active[epoch] - 1
+        assert remaining >= 0, (
+            f"GC epoch {epoch} active count went negative "
+            f"(finish without register for txn {txn.txn_id})"
+        )
+        self._active[epoch] = remaining
+        if remaining <= 0 and epoch < self._current_epoch:
             self._finished_epochs.add(epoch)
             del self._active[epoch]
 
@@ -69,15 +86,26 @@ class GarbageCollector:
         """
         if self._paused or not self._finished_epochs:
             return 0
-        collectable = set()
+        # ``prune_epochs(max_epoch)`` drops *every* superseded version up to
+        # ``max_epoch``, so only the contiguous confirmed prefix of finished
+        # epochs may be collected: skipping over an unfinished or unconfirmed
+        # epoch would silently drop versions that transactions of that epoch
+        # (or snapshot readers ordered before them) still need.
+        prefix = []
+        expected = self._collected_through + 1
         for epoch in sorted(self._finished_epochs):
-            if all(node.can_garbage_collect(epoch) for node in cc_nodes):
-                collectable.add(epoch)
-        if not collectable:
+            if epoch != expected:
+                break
+            if not all(node.can_garbage_collect(epoch) for node in cc_nodes):
+                break
+            prefix.append(epoch)
+            expected += 1
+        if not prefix:
             return 0
-        max_epoch = max(collectable)
+        max_epoch = prefix[-1]
         removed = self.store.prune_epochs(max_epoch)
-        self._finished_epochs -= collectable
+        self._finished_epochs.difference_update(prefix)
+        self._collected_through = max_epoch
         self._collected_versions += removed
         self._collections += 1
         return removed

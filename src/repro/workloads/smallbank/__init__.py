@@ -1,0 +1,9 @@
+"""SmallBank banking workload (H-Store/OLTP-Bench lineage).
+
+Six short transaction types over per-customer savings/checking rows, with a
+hot-account knob concentrating contention on a few customers.
+"""
+
+from repro.workloads.smallbank.workload import SmallBankWorkload, SMALLBANK_MIX
+
+__all__ = ["SmallBankWorkload", "SMALLBANK_MIX"]

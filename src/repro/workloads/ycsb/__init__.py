@@ -1,0 +1,5 @@
+"""YCSB-style key-value workload with the classic A/B/E operation profiles."""
+
+from repro.workloads.ycsb.workload import YCSBWorkload, YCSB_PROFILES
+
+__all__ = ["YCSBWorkload", "YCSB_PROFILES"]

@@ -1,0 +1,168 @@
+"""A YCSB-style parameterized workload over one ``usertable``.
+
+The Yahoo! Cloud Serving Benchmark's core operations — point read, update,
+insert, short scan and read-modify-write — are expressed as transactions
+over the key-value interface, and its standard letter profiles select the
+operation mix:
+
+* **A** (update-heavy): 50% read / 50% update,
+* **B** (read-heavy): 95% read / 5% update,
+* **E** (scan-heavy): 95% scan / 5% insert.
+
+All five transaction types are always registered (so one CC tree covers all
+profiles); the profile only changes the mix that closed-loop clients draw
+from.  Skew uses YCSB's *hotspot* distribution: with probability
+``hot_op_fraction`` the key is drawn from the first
+``hot_set_fraction * records`` keys.
+"""
+
+from repro.analysis.profiles import TransactionProfile, TransactionType
+from repro.storage.tables import Catalog, Table, TableSchema
+from repro.workloads.base import Workload
+
+
+YCSB_PROFILES = {
+    "a": {"read_record": 0.50, "update_record": 0.50},
+    "b": {"read_record": 0.95, "update_record": 0.05},
+    "e": {"scan_records": 0.95, "insert_record": 0.05},
+}
+
+UPDATE_TRANSACTIONS = ("update_record", "insert_record", "read_modify_write")
+READ_ONLY_TRANSACTIONS = ("read_record", "scan_records")
+
+
+class YCSBWorkload(Workload):
+    """YCSB core operations as transactions over ``usertable``."""
+
+    name = "ycsb"
+
+    def __init__(self, records=1000, profile="a", max_scan_length=10,
+                 hot_op_fraction=0.5, hot_set_fraction=0.05,
+                 insert_space=10_000, seed=31):
+        if profile not in YCSB_PROFILES:
+            raise ValueError(
+                f"unknown YCSB profile {profile!r}; choose one of {sorted(YCSB_PROFILES)}"
+            )
+        self.records = records
+        self.profile = profile
+        self.max_scan_length = max_scan_length
+        self.hot_op_fraction = hot_op_fraction
+        self.hot_set_fraction = hot_set_fraction
+        self.insert_space = insert_space
+        self.seed = seed
+
+    # -- schema -------------------------------------------------------------------
+
+    def build_catalog(self):
+        usertable = Table(TableSchema("usertable", ("key",), ("field0", "version")))
+        for key in range(self.records):
+            usertable.insert((key,), {"field0": key * 7, "version": 0})
+        return Catalog([usertable])
+
+    # -- procedures -----------------------------------------------------------------
+
+    def _read_record(self, ctx, key):
+        row = yield from ctx.read("usertable", key)
+        return {"row": row}
+
+    def _update_record(self, ctx, key, value):
+        row = yield from ctx.update(
+            "usertable", key,
+            updates={"field0": value, "version": lambda v: (v or 0) + 1},
+        )
+        return {"version": row["version"]}
+
+    def _insert_record(self, ctx, key, value):
+        yield from ctx.write("usertable", key, row={"field0": value, "version": 0})
+        return {"inserted": key}
+
+    def _scan_records(self, ctx, start, count):
+        rows = []
+        for key in range(start, start + count):
+            row = yield from ctx.read("usertable", key)
+            if row is not None:
+                rows.append(row)
+        return {"rows": rows}
+
+    def _read_modify_write(self, ctx, key, delta):
+        row = yield from ctx.read("usertable", key, for_update=True)
+        current = (row or {}).get("field0", 0)
+        version = (row or {}).get("version", 0)
+        yield from ctx.write(
+            "usertable", key, row={"field0": current + delta, "version": version + 1}
+        )
+        return {"field0": current + delta}
+
+    # -- registration -------------------------------------------------------------------
+
+    def build_transaction_types(self):
+        profiles = {
+            "read_record": TransactionProfile(
+                name="read_record", accesses=(("usertable", "r"),), read_only=True,
+                description="point read of one record",
+            ),
+            "update_record": TransactionProfile(
+                name="update_record", accesses=(("usertable", "w"),),
+                description="overwrite one field of a record",
+            ),
+            "insert_record": TransactionProfile(
+                name="insert_record", accesses=(("usertable", "w"),),
+                description="insert a new record",
+            ),
+            "scan_records": TransactionProfile(
+                name="scan_records", accesses=(("usertable", "r"),), read_only=True,
+                description="short range scan",
+            ),
+            "read_modify_write": TransactionProfile(
+                name="read_modify_write", accesses=(("usertable", "w"),),
+                description="read a record and write it back",
+            ),
+        }
+        procedures = {
+            "read_record": self._read_record,
+            "update_record": self._update_record,
+            "insert_record": self._insert_record,
+            "scan_records": self._scan_records,
+            "read_modify_write": self._read_modify_write,
+        }
+        mix = YCSB_PROFILES[self.profile]
+        return {
+            name: TransactionType(
+                name=name,
+                procedure=procedures[name],
+                profile=profiles[name],
+                weight=mix.get(name, 0.0),
+            )
+            for name in profiles
+        }
+
+    def mix(self):
+        return dict(YCSB_PROFILES[self.profile])
+
+    # -- argument generation -----------------------------------------------------------
+
+    def _key(self, rng):
+        if rng.random() < self.hot_op_fraction:
+            hot = max(int(self.records * self.hot_set_fraction), 1)
+            return rng.randrange(hot)
+        return rng.randrange(self.records)
+
+    def generate_args(self, rng, txn_type):
+        if txn_type == "read_record":
+            return {"key": self._key(rng)}
+        if txn_type == "update_record":
+            return {"key": self._key(rng), "value": rng.randrange(1_000_000)}
+        if txn_type == "insert_record":
+            # Inserts land in a key space above the loaded records; collisions
+            # just overwrite, which YCSB's insert-order guarantees tolerate.
+            return {
+                "key": self.records + rng.randrange(self.insert_space),
+                "value": rng.randrange(1_000_000),
+            }
+        if txn_type == "scan_records":
+            count = rng.randint(1, self.max_scan_length)
+            start = min(self._key(rng), max(self.records - count, 0))
+            return {"start": start, "count": count}
+        if txn_type == "read_modify_write":
+            return {"key": self._key(rng), "delta": rng.randrange(1, 100)}
+        raise ValueError(f"unknown YCSB transaction {txn_type!r}")

@@ -10,16 +10,18 @@ from repro.core.config import Configuration, leaf, monolithic, node
 from repro.core.transaction import Transaction
 from repro.database import Database
 from repro.harness import configs
-from repro.harness.report import format_series, format_table
-from repro.harness.runner import run_benchmark
+from repro.harness.report import format_run_results, format_series, format_table
+from repro.harness.runner import BenchmarkRunner, run_benchmark
 from repro.harness.sweep import client_sweep, peak_throughput, sweep_throughputs
 from repro.isolation.checker import check_history
 from repro.isolation.dsg import build_dsg
-from repro.isolation.history import History, HistoryTransaction
+from repro.isolation.history import History, HistoryRecorder, HistoryTransaction
 from repro.workloads.micro import CrossGroupConflictWorkload
 from repro.workloads.seats import SEATSWorkload
+from repro.workloads.smallbank import SmallBankWorkload
 from repro.workloads.tpcc import TPCCWorkload
 from repro.workloads.tpcc.schema import TPCCScale
+from repro.workloads.ycsb import YCSBWorkload
 
 
 def history_from(transactions, version_orders, aborted=()):
@@ -87,6 +89,168 @@ class TestIsolationOracle:
         history = history_from([t1], {"x": []}, aborted={99})
         with pytest.raises(IsolationViolation):
             check_history(history).raise_on_violation()
+
+    # -- adversarial hand-built histories (the oracle must flag each) --------
+
+    def test_intermediate_read_detected(self):
+        # T1 installed two versions of x; seq 1 was intermediate (its final
+        # committed version is seq 2), yet T2 read seq 1.
+        t1 = HistoryTransaction(1, "w", writes=[("x", 2)])
+        t2 = HistoryTransaction(2, "r", reads=[("x", 1, 1)])
+        history = history_from([t1, t2], {"x": [(1, 1), (2, 1)]})
+        report = check_history(history)
+        assert report.intermediate_reads == [(2, "x", 1)]
+        assert not report.ok
+
+    def test_g1c_wr_ww_cycle_detected(self):
+        # G1c: circular information flow mixing wr and ww edges.
+        # T1 writes x (seq 1); T2 reads it (wr T1->T2) and writes y over T1's
+        # version (ww T1->T2)... build the reverse: T2's y is overwritten by
+        # T1 (ww T2->T1) closing the cycle T1 -wr-> T2 -ww-> T1.
+        t1 = HistoryTransaction(1, "w", writes=[("x", 1), ("y", 4)])
+        t2 = HistoryTransaction(2, "rw", reads=[("x", 1, 1)], writes=[("y", 3)])
+        history = history_from(
+            [t1, t2], {"x": [(1, 1)], "y": [(3, 2), (4, 1)]}
+        )
+        report = check_history(history)
+        assert not report.serializable
+        # The cycle survives at read-committed (wr+ww only) too: it is G1,
+        # not a mere write-skew artefact.
+        assert not check_history(history, level="read-committed").serializable
+
+    def test_g2_pure_antidependency_cycle_detected(self):
+        # G2: cycle with only rw anti-dependencies (classic write skew),
+        # flagged at serializable but tolerated at read-committed.
+        t1 = HistoryTransaction(1, "t", reads=[("y", 0, 1)], writes=[("x", 3)])
+        t2 = HistoryTransaction(2, "t", reads=[("x", 0, 2)], writes=[("y", 4)])
+        history = history_from(
+            [t1, t2], {"x": [(2, 0), (3, 1)], "y": [(1, 0), (4, 2)]}
+        )
+        report = check_history(history)
+        assert not report.serializable
+        cycle_kinds = {
+            kind
+            for source, target in report.cycles[0]
+            for s, t, kind in build_dsg(history).edges()
+            if (s, t) == (source, target)
+        }
+        assert cycle_kinds == {"rw"}
+        assert check_history(history, level="read-committed").serializable
+
+    def test_three_transaction_read_only_anomaly_detected(self):
+        # The SmallBank read-only anomaly shape: pivot T2 with an outgoing
+        # rw to T1 and an incoming rw from read-only T3.
+        t1 = HistoryTransaction(1, "upd", reads=[("s", 0, 1)], writes=[("s", 3)])
+        t2 = HistoryTransaction(2, "pivot", reads=[("s", 0, 1), ("c", 0, 2)], writes=[("c", 4)])
+        t3 = HistoryTransaction(3, "ro", reads=[("s", 1, 3), ("c", 0, 2)])
+        history = history_from(
+            [t1, t2, t3], {"s": [(1, 0), (3, 1)], "c": [(2, 0), (4, 2)]}
+        )
+        assert not check_history(history).serializable
+
+    def test_unknown_isolation_level_rejected(self):
+        t1 = HistoryTransaction(1, "w", writes=[("x", 1)])
+        history = history_from([t1], {"x": [(1, 1)]})
+        with pytest.raises(ValueError):
+            check_history(history, level="read_committed")
+        workload = CrossGroupConflictWorkload(shared_rows=4, cold_rows=20)
+        with pytest.raises(ValueError):
+            BenchmarkRunner(
+                workload,
+                monolithic("2pl", workload.transaction_names()),
+                check_isolation=True,
+                isolation_level="serialisable",
+            )
+
+    def test_extra_committed_ids_are_not_aborted_reads(self):
+        # A reader of an evicted-but-committed writer must not be flagged.
+        t2 = HistoryTransaction(2, "r", reads=[("x", 1, 5)])
+        history = history_from([t2], {"x": [(5, 1)]})
+        history.extra_committed = {1}
+        report = check_history(history)
+        assert report.ok, report.describe()
+
+
+class TestHistoryRecorder:
+    def _checked_runner(self, **kwargs):
+        workload = CrossGroupConflictWorkload(shared_rows=5, cold_rows=50)
+        return BenchmarkRunner(
+            workload,
+            monolithic("2pl", workload.transaction_names()),
+            seed=11,
+            check_isolation=True,
+            **kwargs,
+        )
+
+    def test_recorder_streams_full_version_order(self):
+        runner = self._checked_runner()
+        try:
+            result = runner.run(6, duration=0.2, warmup=0.05)
+        finally:
+            runner.stop()
+        report = result.extra["isolation"]
+        assert report.ok, report.describe()
+        history = runner.recorder.history()
+        assert len(history) == runner.recorder.recorded_commits
+        # Version orders are in commit-sequence order per key.
+        for order in history.version_orders.values():
+            seqs = [seq for seq, _writer in order]
+            assert seqs == sorted(seqs)
+
+    def test_recorder_survives_gc_pruning(self):
+        # With an aggressive GC epoch the store prunes superseded versions
+        # mid-run; the streamed history must still check out (the post-hoc
+        # extractor would see holes in the version order).
+        from repro.core.engine import EngineOptions
+
+        runner = self._checked_runner(options=EngineOptions(gc_epoch_length=0.02))
+        try:
+            result = runner.run(6, duration=0.3, warmup=0.05)
+        finally:
+            runner.stop()
+        assert runner.engine.gc.collected_versions > 0
+        assert result.extra["isolation"].ok
+
+    def test_recorder_ring_eviction_keeps_checks_sound(self):
+        runner = self._checked_runner(history_window=25)
+        try:
+            result = runner.run(6, duration=0.3, warmup=0.05)
+        finally:
+            runner.stop()
+        history = runner.recorder.history()
+        assert len(history) <= 25
+        assert history.extra_committed  # something was evicted
+        assert result.extra["isolation"].ok
+
+    def test_checked_run_raises_without_recorder(self):
+        workload = CrossGroupConflictWorkload(shared_rows=5, cold_rows=50)
+        runner = BenchmarkRunner(workload, monolithic("2pl", workload.transaction_names()))
+        try:
+            with pytest.raises(ValueError):
+                runner.check_isolation()
+        finally:
+            runner.stop()
+
+    def test_recorder_read_of_later_committed_writer_resolves(self):
+        # A read of a then-uncommitted version must pick up the writer's
+        # final commit_seq when the history is materialised.
+        from repro.storage.mvstore import MultiVersionStore
+
+        store = MultiVersionStore()
+        recorder = HistoryRecorder()
+        writer = Transaction(txn_id=1, txn_type="w")
+        version = store.install(("x",), {"v": 1}, writer)
+        reader = Transaction(txn_id=2, txn_type="r")
+        from repro.core.transaction import ReadRecord
+
+        reader.reads.append(ReadRecord(("x",), version))
+        recorder.on_commit(reader, [])          # reader commits first
+        versions = store.commit_transaction(writer)
+        recorder.on_commit(writer, versions)    # writer commits later
+        history = recorder.history()
+        (key, writer_id, commit_seq), = history.transactions[2].reads
+        assert (key, writer_id) == (("x",), 1)
+        assert commit_seq == version.commit_seq is not None
 
 
 class TestWorkloads:
@@ -184,6 +348,87 @@ class TestWorkloads:
         assert 0 <= args["shared_id"] < 4
         assert len(args["cold_ids"]) == len(workload.cold_tables)
 
+    def test_smallbank_balance_and_deposit(self):
+        workload = SmallBankWorkload(customers=10, hot_accounts=2)
+        db = Database(workload, configs.smallbank_monolithic_2pl())
+        before = db.execute("balance", c_id=3)["balance"]
+        db.execute("deposit_checking", c_id=3, amount=50.0)
+        after = db.execute("balance", c_id=3)["balance"]
+        assert after == pytest.approx(before + 50.0)
+
+    def test_smallbank_send_payment_conserves_money(self):
+        workload = SmallBankWorkload(customers=10)
+        db = Database(workload, configs.smallbank_monolithic_2pl())
+        total_before = sum(
+            db.execute("balance", c_id=c)["balance"] for c in (1, 2)
+        )
+        outcome = db.execute("send_payment", from_c_id=1, to_c_id=2, amount=75.0)
+        assert outcome["ok"]
+        total_after = sum(
+            db.execute("balance", c_id=c)["balance"] for c in (1, 2)
+        )
+        assert total_after == pytest.approx(total_before)
+
+    def test_smallbank_amalgamate_zeroes_source(self):
+        workload = SmallBankWorkload(customers=10)
+        db = Database(workload, configs.smallbank_monolithic_2pl())
+        moved = db.execute("amalgamate", from_c_id=4, to_c_id=5)["moved"]
+        assert moved == pytest.approx(20_000.0)
+        assert db.execute("balance", c_id=4)["balance"] == pytest.approx(0.0)
+
+    def test_smallbank_transact_savings_rejects_overdraft(self):
+        workload = SmallBankWorkload(customers=5, initial_balance=10.0)
+        db = Database(workload, configs.smallbank_monolithic_2pl())
+        outcome = db.execute("transact_savings", c_id=1, amount=-100.0)
+        assert not outcome["ok"]
+        assert db.read_row("savings", 1)["balance"] == pytest.approx(10.0)
+
+    def test_smallbank_hot_account_knob_skews_args(self):
+        workload = SmallBankWorkload(customers=1000, hot_accounts=5, hot_probability=1.0)
+        rng = workload.make_rng(3)
+        customers = {workload.generate_args(rng, "balance")["c_id"] for _ in range(50)}
+        assert customers <= set(range(1, 6))
+
+    def test_smallbank_degenerate_hot_set_terminates(self):
+        # Regression: a single-account hot set at probability 1.0 must still
+        # produce distinct payment endpoints (used to loop forever).
+        workload = SmallBankWorkload(customers=100, hot_accounts=1, hot_probability=1.0)
+        rng = workload.make_rng(0)
+        args = workload.generate_args(rng, "send_payment")
+        assert args["from_c_id"] != args["to_c_id"]
+        solo = SmallBankWorkload(customers=1)
+        args = solo.generate_args(solo.make_rng(0), "amalgamate")
+        assert args["from_c_id"] == args["to_c_id"] == 1
+
+    def test_ycsb_profiles_select_mix(self):
+        for profile, expected in (("a", {"read_record", "update_record"}),
+                                  ("e", {"scan_records", "insert_record"})):
+            workload = YCSBWorkload(records=50, profile=profile)
+            assert set(workload.mix()) == expected
+        with pytest.raises(ValueError):
+            YCSBWorkload(profile="z")
+
+    def test_ycsb_operations(self):
+        workload = YCSBWorkload(records=50, profile="a")
+        db = Database(workload, configs.ycsb_monolithic_2pl())
+        assert db.execute("read_record", key=7)["row"]["field0"] == 49
+        db.execute("update_record", key=7, value=123)
+        assert db.execute("read_record", key=7)["row"]["field0"] == 123
+        rows = db.execute("scan_records", start=5, count=4)["rows"]
+        assert len(rows) == 4
+        db.execute("insert_record", key=1000, value=9)
+        assert db.execute("read_record", key=1000)["row"]["field0"] == 9
+        result = db.execute("read_modify_write", key=7, delta=2)
+        assert result["field0"] == 125
+
+    def test_ycsb_scan_stays_in_range(self):
+        workload = YCSBWorkload(records=30, max_scan_length=10)
+        rng = workload.make_rng(5)
+        for _ in range(40):
+            args = workload.generate_args(rng, "scan_records")
+            assert 0 <= args["start"] <= 30 - 1
+            assert args["start"] + args["count"] <= 30 + workload.max_scan_length
+
 
 class TestHarness:
     def test_run_benchmark_returns_result(self):
@@ -223,11 +468,162 @@ class TestHarness:
         assert "10" in text and "200.0" in text
 
     def test_named_configurations_are_valid(self):
-        for factory in configs.TPCC_CONFIGURATIONS.values():
-            config = factory()
-            assert config.transaction_types
-        for factory in configs.SEATS_CONFIGURATIONS.values():
-            assert factory().transaction_types
+        for configurations in configs.WORKLOAD_CONFIGURATIONS.values():
+            for factory in configurations.values():
+                assert factory().transaction_types
+
+    def test_registry_covers_all_five_workloads(self):
+        assert set(configs.WORKLOAD_CONFIGURATIONS) == {
+            "tpcc", "seats", "micro", "smallbank", "ycsb"
+        }
+        for configurations in configs.WORKLOAD_CONFIGURATIONS.values():
+            assert len(configurations) >= 3
+
+    # -- empty-input edge cases (sweep.py / report.py) -----------------------
+
+    def test_peak_throughput_empty_returns_default(self):
+        assert peak_throughput([]) is None
+        assert peak_throughput(None) is None
+        sentinel = object()
+        assert peak_throughput([], default=sentinel) is sentinel
+        assert sweep_throughputs(None) == []
+        assert sweep_throughputs([]) == []
+
+    def test_format_series_empty_and_none_values(self):
+        text = format_series([])
+        assert "clients" in text and "(no data)" in text
+        assert format_series(None).endswith("(no data)")
+        assert "-" in format_series([(10, None)])
+
+    def test_format_run_results_empty(self):
+        text = format_run_results([])
+        assert "configuration" in text and "(no data)" in text
+        assert "(no data)" in format_run_results(None)
+
+    def test_format_table_accepts_generator(self):
+        text = format_table((row for row in [(1, 2)]), headers=["a", "b"])
+        assert "1" in text and "2" in text
+
+
+class TestCheckedWorkloadRuns:
+    """Fixed-seed checked runs: the isolation oracle gates every workload.
+
+    Each of the five workloads runs under at least three hierarchical CC
+    configurations with a deterministic seed; the run fails if the recorded
+    history has an aborted read, an intermediate read or a DSG cycle.
+    """
+
+    SCENARIOS = {
+        "tpcc": (
+            lambda: TPCCWorkload(
+                scale=TPCCScale(warehouses=1, districts_per_warehouse=4,
+                                customers_per_district=30, items=100,
+                                initial_orders_per_district=10)
+            ),
+            ("2pl", "tebaldi-2layer", "tebaldi-3layer"),
+        ),
+        "seats": (
+            lambda: SEATSWorkload(flights=4, seats_per_flight=100, customers=50),
+            ("2pl", "2layer", "3layer"),
+        ),
+        "micro": (
+            lambda: CrossGroupConflictWorkload(shared_rows=5, cold_rows=100),
+            ("ssi", "2layer", "ssi-2layer"),
+        ),
+        "smallbank": (
+            lambda: SmallBankWorkload(customers=50, hot_accounts=5),
+            ("ssi", "2layer", "3layer"),
+        ),
+        "ycsb": (
+            lambda: YCSBWorkload(records=200, profile="a"),
+            ("ssi", "2layer", "3layer"),
+        ),
+    }
+
+    @pytest.mark.parametrize(
+        "workload_name,config_name",
+        [
+            (workload, config)
+            for workload, (_factory, names) in sorted(SCENARIOS.items())
+            for config in names
+        ],
+    )
+    def test_checked_run_is_serializable(self, workload_name, config_name):
+        factory, _names = self.SCENARIOS[workload_name]
+        result = run_benchmark(
+            factory(),
+            configs.WORKLOAD_CONFIGURATIONS[workload_name][config_name](),
+            clients=8,
+            duration=0.25,
+            warmup=0.05,
+            seed=7,
+            check_isolation=True,
+        )
+        report = result.extra["isolation"]
+        assert report.ok, report.describe()
+        assert result.commits > 0
+
+    def test_rp_step_commit_antidependency_regression(self):
+        """Regression: passed RP step locks must keep ordering later writers.
+
+        TPC-C under the 2-layer tree (all updates in one RP group) used to
+        lose the rw anti-dependency of a step-committed *reader*, closing
+        new_order/payment ordering cycles undetected.
+        """
+        result = run_benchmark(
+            TPCCWorkload(warehouses=2),
+            configs.tpcc_tebaldi_2layer(),
+            clients=8,
+            duration=0.3,
+            warmup=0.1,
+            seed=7,
+            check_isolation=True,
+        )
+        assert result.extra["isolation"].ok
+
+    def test_ssi_committed_pivot_regression(self):
+        """Regression: the SmallBank read-only anomaly under monolithic SSI.
+
+        A read-only transaction discovering an rw edge into an already
+        committed pivot must abort (committed-pivot rule); it used to slip
+        through and publish a non-serializable read.
+        """
+        result = run_benchmark(
+            SmallBankWorkload(customers=100, hot_accounts=5),
+            configs.smallbank_monolithic_ssi(),
+            clients=16,
+            duration=0.3,
+            warmup=0.05,
+            seed=7,
+            check_isolation=True,
+        )
+        assert result.extra["isolation"].ok
+
+
+class TestHarnessCLI:
+    def test_list_registry(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "smallbank" in out and "ycsb" in out
+
+    def test_checked_cli_run(self, capsys):
+        from repro.harness.cli import main
+
+        code = main([
+            "--workload", "micro", "--config", "2pl",
+            "--clients", "4", "--duration", "0.1", "--warmup", "0.0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "isolation OK" in out
+
+    def test_cli_rejects_unknown_config(self):
+        from repro.harness.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--workload", "micro", "--config", "nope"])
 
 
 class TestProfilerAnalysis:

@@ -342,3 +342,69 @@ class TestGarbageCollector:
         gc.pause()
         assert gc.collect() == 0
         gc.resume()
+
+    def _commit_in_epoch(self, store, gc, txn_id, value):
+        txn = make_txn(txn_id)
+        gc.register_transaction(txn)
+        store.install(("k",), value, txn)
+        store.commit_transaction(txn)
+        return txn
+
+    def test_collect_prunes_only_contiguous_confirmed_prefix(self, store):
+        """Regression: an unconfirmed middle epoch must block later epochs.
+
+        ``prune_epochs(max_epoch)`` drops everything up to ``max_epoch``, so
+        collecting ``max(collectable)`` while epoch 2 is vetoed used to drop
+        epoch-2 versions that a CC explicitly still needed.
+        """
+
+        class VetoEpoch2:
+            def can_garbage_collect(self, epoch):
+                return epoch != 2
+
+        gc = GarbageCollector(store)
+        txns = []
+        for txn_id in (1, 2, 3):
+            txns.append(self._commit_in_epoch(store, gc, txn_id, {"v": txn_id}))
+            gc.advance_epoch()
+        for txn in txns:
+            gc.finish_transaction(txn)
+        removed = gc.collect(cc_nodes=(VetoEpoch2(),))
+        # Only epoch 1 is collectable: epoch 2 is vetoed and epoch 3 must
+        # wait behind it.
+        assert removed == 1
+        remaining = [v.value for v in store.committed_versions(("k",))]
+        assert remaining == [{"v": 2}, {"v": 3}]
+
+    def test_collect_blocked_by_unfinished_middle_epoch(self, store):
+        gc = GarbageCollector(store)
+        first = self._commit_in_epoch(store, gc, 1, {"v": 1})
+        gc.advance_epoch()
+        straggler = self._commit_in_epoch(store, gc, 2, {"v": 2})
+        gc.advance_epoch()
+        third = self._commit_in_epoch(store, gc, 3, {"v": 3})
+        gc.advance_epoch()
+        gc.finish_transaction(first)
+        gc.finish_transaction(third)  # epoch 2's transaction still running
+        assert gc.collect(cc_nodes=()) == 1
+        remaining = [v.value for v in store.committed_versions(("k",))]
+        assert remaining == [{"v": 2}, {"v": 3}]
+        # Once the straggler finishes, the prefix extends through epoch 3.
+        gc.finish_transaction(straggler)
+        assert gc.collect(cc_nodes=()) == 1
+        assert [v.value for v in store.committed_versions(("k",))] == [{"v": 3}]
+
+    def test_finish_transaction_is_idempotent(self, store):
+        """Regression: a double finish must not retire a live epoch."""
+        gc = GarbageCollector(store)
+        done = make_txn(1)
+        live = make_txn(2)
+        gc.register_transaction(done)
+        gc.register_transaction(live)
+        gc.finish_transaction(done)
+        gc.finish_transaction(done)  # abort-during-commit style double finish
+        gc.advance_epoch()
+        # The epoch still has a live transaction, so it must not be finished.
+        assert 1 not in gc._finished_epochs
+        gc.finish_transaction(live)
+        assert 1 in gc._finished_epochs
