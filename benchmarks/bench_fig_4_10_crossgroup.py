@@ -6,7 +6,9 @@ write-write conflicts are rare (ww-1); no single cross-group CC wins
 everywhere.
 """
 
-from common import measure, print_rows
+from functools import partial
+
+from common import deferred_measure, measure_keyed, print_rows
 from repro.core.config import Configuration, leaf, node
 from repro.workloads.micro import CrossGroupConflictWorkload
 
@@ -29,16 +31,25 @@ def build_config(cross_cc, read_only):
 
 
 def run_figure():
-    results = {}
+    results = measure_keyed(
+        (
+            (workload_name, cross_cc),
+            deferred_measure(
+                partial(CrossGroupConflictWorkload, **params),
+                partial(build_config, cross_cc, params["read_only_second_group"]),
+                CLIENTS,
+                duration=0.6,
+                warmup=0.2,
+            ),
+        )
+        for workload_name, params in WORKLOADS.items()
+        for cross_cc in CROSS_CCS
+    )
     rows = []
-    for workload_name, params in WORKLOADS.items():
+    for workload_name in WORKLOADS:
         row = {"workload": workload_name}
         for cross_cc in CROSS_CCS:
-            workload = CrossGroupConflictWorkload(**params)
-            config = build_config(cross_cc, params["read_only_second_group"])
-            result = measure(workload, config, clients=CLIENTS, duration=0.6, warmup=0.2)
-            results[(workload_name, cross_cc)] = result
-            row[cross_cc] = f"{result.throughput:.0f}"
+            row[cross_cc] = f"{results[(workload_name, cross_cc)].throughput:.0f}"
         rows.append(row)
     print_rows(
         "Figure 4.10: cross-group CC throughput (txn/s)",

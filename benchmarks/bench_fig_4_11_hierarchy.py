@@ -5,7 +5,9 @@ peaks 63% above the best two-layer grouping, because no single cross-group CC
 handles both the T1/T2 read-write conflict and the T2/T3 interaction well.
 """
 
-from common import RESULT_HEADERS, measure, print_rows, result_row
+from functools import partial
+
+from common import RESULT_HEADERS, deferred_measure, measure_keyed, print_rows, result_row
 from repro.core.config import Configuration, leaf, node
 from repro.workloads.micro import HierarchyMicroWorkload
 
@@ -42,13 +44,18 @@ def configurations():
 
 
 def run_figure():
-    results = {}
-    rows = []
-    for label, config in configurations().items():
-        workload = HierarchyMicroWorkload(hot_rows=10, cold_rows=2000)
-        result = measure(workload, config, clients=CLIENTS, duration=0.6, warmup=0.2)
-        results[label] = result
-        rows.append(result_row(label, result))
+    workload_factory = partial(HierarchyMicroWorkload, hot_rows=10, cold_rows=2000)
+    results = measure_keyed(
+        (
+            label,
+            deferred_measure(
+                workload_factory, lambda config=config: config, CLIENTS,
+                duration=0.6, warmup=0.2,
+            ),
+        )
+        for label, config in configurations().items()
+    )
+    rows = [result_row(label, result) for label, result in results.items()]
     print_rows("Figure 4.11: two-layer vs three-layer", rows, RESULT_HEADERS)
     return results
 

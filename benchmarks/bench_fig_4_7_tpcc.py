@@ -8,7 +8,8 @@ overall.
 
 from common import (
     RESULT_HEADERS,
-    measure,
+    deferred_measure,
+    measure_keyed,
     print_rows,
     result_row,
     tpcc_workload,
@@ -19,14 +20,15 @@ CLIENT_COUNTS = (40, 100)
 
 
 def run_figure():
-    results = {}
-    rows = []
-    for clients in CLIENT_COUNTS:
-        for name, factory in configs.TPCC_CONFIGURATIONS.items():
-            result = measure(tpcc_workload(), factory(), clients=clients)
-            results[(name, clients)] = result
-            row = result_row(f"{name} @ {clients} clients", result)
-            rows.append(row)
+    results = measure_keyed(
+        ((name, clients), deferred_measure(tpcc_workload, factory, clients))
+        for clients in CLIENT_COUNTS
+        for name, factory in configs.TPCC_CONFIGURATIONS.items()
+    )
+    rows = [
+        result_row(f"{name} @ {clients} clients", result)
+        for (name, clients), result in results.items()
+    ]
     print_rows("Figure 4.7: TPC-C throughput by configuration", rows, RESULT_HEADERS)
     return results
 

@@ -4,7 +4,15 @@ Paper: the 2-layer (SSI + 2PL) tree peaks ~2.6x above monolithic 2PL; adding
 per-flight TSO instances (3-layer) yields a further ~2x.
 """
 
-from common import RESULT_HEADERS, SEATS_CLIENTS, measure, print_rows, result_row, seats_workload
+from common import (
+    RESULT_HEADERS,
+    SEATS_CLIENTS,
+    deferred_measure,
+    measure_keyed,
+    print_rows,
+    result_row,
+    seats_workload,
+)
 from repro.harness import configs
 
 SETTINGS = [
@@ -15,12 +23,11 @@ SETTINGS = [
 
 
 def run_figure():
-    results = {}
-    rows = []
-    for label, factory in SETTINGS:
-        result = measure(seats_workload(), factory(), clients=SEATS_CLIENTS)
-        results[label] = result
-        rows.append(result_row(label, result))
+    results = measure_keyed(
+        (label, deferred_measure(seats_workload, factory, SEATS_CLIENTS))
+        for label, factory in SETTINGS
+    )
+    rows = [result_row(label, result) for label, result in results.items()]
     print_rows("Figure 4.8: SEATS throughput by configuration", rows, RESULT_HEADERS)
     return results
 

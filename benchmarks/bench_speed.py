@@ -26,18 +26,25 @@ The script maintains ``BENCH_speed.json`` at the repository root:
   deterministic micro runs) differs from the baseline — a speedup that
   changes simulation outcomes is a bug, not an optimisation;
 * ``--quick`` is a fast CI smoke: tiny runs plus the fingerprint check
-  against the stored baseline, with no JSON rewrite.
+  against the stored baseline, with no JSON rewrite;
+* ``--profile [SCENARIO]`` runs one scenario (default ``tpcc-3layer``)
+  under cProfile and dumps the stats to ``--profile-out`` (default
+  ``bench_speed.prof``), so perf work starts from data instead of guesses
+  (inspect with ``python -m pstats bench_speed.prof`` or snakeviz).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_speed.py --record-baseline
     PYTHONPATH=src python benchmarks/bench_speed.py
     PYTHONPATH=src python benchmarks/bench_speed.py --quick
+    PYTHONPATH=src python benchmarks/bench_speed.py --profile micro-2layer
 """
 
 import argparse
+import cProfile
 import hashlib
 import json
+import pstats
 import sys
 import time
 from pathlib import Path
@@ -164,6 +171,26 @@ def behavior_fingerprint(seed=FINGERPRINT_SEED, duration=FINGERPRINT_DURATION):
     return {"seed": seed, "sim_duration": duration, "runs": runs}
 
 
+def profile_scenario(name, spec, output_path):
+    """Run one scenario under cProfile and dump the stats to a file."""
+    workload_factory, config_factory, clients, duration, warmup = spec
+    runner = BenchmarkRunner(
+        workload_factory(), config_factory(), options=EngineOptions(), seed=7
+    )
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+        result = runner.run(clients, duration=duration, warmup=warmup)
+        profiler.disable()
+    finally:
+        runner.stop()
+    profiler.dump_stats(output_path)
+    print(f"{name}: {result.commits} commits; profile written to {output_path}")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(15)
+    return result
+
+
 def load_report():
     if OUTPUT_PATH.exists():
         with OUTPUT_PATH.open() as handle:
@@ -197,7 +224,24 @@ def main(argv=None):
         help="fast CI smoke: tiny runs + fingerprint check, no JSON rewrite",
     )
     parser.add_argument("--repeat", type=int, default=3, help="runs per scenario (best-of)")
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="tpcc-3layer",
+        choices=sorted(_scenarios()),
+        metavar="SCENARIO",
+        help="cProfile one scenario (default tpcc-3layer) and dump the stats",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=str(REPO_ROOT / "bench_speed.prof"),
+        help="where --profile writes its stats file",
+    )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        profile_scenario(args.profile, _scenarios()[args.profile], args.profile_out)
+        return 0
 
     quick = args.quick
     repeat = 1 if quick else args.repeat

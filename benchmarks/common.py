@@ -6,6 +6,10 @@ paper's CloudLab runs, so absolute txn/sec numbers differ; the *shape* (who
 wins, roughly by how much) is what EXPERIMENTS.md tracks.
 """
 
+import os
+from functools import partial
+
+from repro.harness.parallel import available_workers, run_tasks
 from repro.harness.report import format_table
 from repro.harness.runner import run_benchmark
 from repro.workloads.seats import SEATSWorkload
@@ -17,6 +21,38 @@ TPCC_CLIENTS = 60
 SEATS_CLIENTS = 60
 DURATION = 0.8
 WARMUP = 0.3
+
+
+def bench_workers():
+    """Worker processes for benchmark sweeps (REPRO_BENCH_WORKERS overrides)."""
+    override = os.environ.get("REPRO_BENCH_WORKERS")
+    if override:
+        return max(1, int(override))
+    return available_workers()
+
+
+def measure_keyed(keyed_tasks, workers=None):
+    """Run ``(key, zero-arg task)`` pairs in parallel; return ``{key: result}``.
+
+    Every figure sweep is a family of independent fresh-database points, so
+    they fan out across worker processes; results come back keyed and in
+    input order regardless of completion order.
+    """
+    keyed_tasks = list(keyed_tasks)
+    results = run_tasks(
+        [task for _key, task in keyed_tasks],
+        workers=bench_workers() if workers is None else workers,
+    )
+    return {key: result for (key, _task), result in zip(keyed_tasks, results)}
+
+
+def deferred_measure(workload_factory, configuration_factory, clients, **kwargs):
+    """A zero-argument measurement task (workload/config built in the worker)."""
+    return partial(_measure_point, workload_factory, configuration_factory, clients, kwargs)
+
+
+def _measure_point(workload_factory, configuration_factory, clients, kwargs):
+    return measure(workload_factory(), configuration_factory(), clients, **kwargs)
 
 
 def tpcc_workload(**kwargs):

@@ -12,7 +12,9 @@
 # fingerprint against the recorded baseline in BENCH_speed.json, so both
 # functional and performance regressions fail loudly.  The checked-run
 # smoke gates micro and SmallBank runs under two CC trees each on the Adya
-# isolation oracle (python -m repro.harness --quick).
+# isolation oracle (python -m repro.harness --quick); its independent
+# cells fan out across --workers processes (WORKERS env var overrides;
+# results are identical whatever the worker count).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,8 +35,9 @@ python benchmarks/bench_speed.py --quick
 
 echo
 echo "== checked-run smoke (isolation oracle) =="
-python -m repro.harness --workload micro --config 2pl --config 2layer --quick
-python -m repro.harness --workload smallbank --config ssi --config 3layer --quick
+WORKERS="${WORKERS:-$(python -c 'import os; print(os.cpu_count() or 1)')}"
+python -m repro.harness --workload micro --config 2pl --config 2layer --quick --workers "$WORKERS"
+python -m repro.harness --workload smallbank --config ssi --config 3layer --quick --workers "$WORKERS"
 
 echo
 echo "== examples smoke =="

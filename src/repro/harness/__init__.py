@@ -1,6 +1,7 @@
-"""Benchmark harness: closed-loop clients, checked runs, sweeps, reporting."""
+"""Benchmark harness: closed-loop clients, checked runs, parallel sweeps, reporting."""
 
 from repro.harness.runner import BenchmarkRunner, RunResult, run_benchmark
+from repro.harness.parallel import available_workers, derive_point_seed, run_tasks
 from repro.harness.sweep import client_sweep, peak_throughput
 from repro.harness.report import format_table, format_series, format_run_results
 
@@ -8,6 +9,9 @@ __all__ = [
     "BenchmarkRunner",
     "RunResult",
     "run_benchmark",
+    "available_workers",
+    "derive_point_seed",
+    "run_tasks",
     "client_sweep",
     "peak_throughput",
     "format_table",

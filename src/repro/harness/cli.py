@@ -7,21 +7,28 @@ isolation checker and fails (exit code 1) on any aborted read, intermediate
 read or DSG cycle.  Every workload × configuration × client-count cell is
 checked independently, so a violation pinpoints the offending combination.
 
+Cells are independent fresh-database runs, so they execute in parallel
+across ``--workers`` processes (default: every available CPU); each cell's
+RNG seed is derived from ``(--seed, workload, configuration, clients)``,
+so results are identical whatever the worker count or completion order.
+
 Examples::
 
     python -m repro.harness --list
     python -m repro.harness --workload smallbank --clients 20 --duration 1
     python -m repro.harness --workload tpcc --config tebaldi-3layer --clients 10 20 40
     python -m repro.harness --workload ycsb --ycsb-profile e --quick
+    python -m repro.harness --all --quick --workers 4
 """
 
 import argparse
 import sys
 
 from repro.harness.configs import WORKLOAD_CONFIGURATIONS
+from repro.harness.parallel import available_workers, derive_point_seed, run_tasks
 from repro.harness.report import format_run_results
 from repro.harness.runner import run_benchmark
-from repro.isolation.checker import ISOLATION_LEVELS
+from repro.isolation.levels import ISOLATION_LEVELS
 from repro.workloads.micro import CrossGroupConflictWorkload
 from repro.workloads.seats import SEATSWorkload
 from repro.workloads.smallbank import SmallBankWorkload
@@ -61,6 +68,10 @@ def build_parser():
         help="workload to run (see --list for the registry)",
     )
     parser.add_argument(
+        "--all", action="store_true",
+        help="run every workload × configuration in the registry",
+    )
+    parser.add_argument(
         "--config",
         action="append",
         default=None,
@@ -72,7 +83,14 @@ def build_parser():
     )
     parser.add_argument("--duration", type=float, default=1.0, help="measured virtual seconds")
     parser.add_argument("--warmup", type=float, default=0.2, help="warmup virtual seconds")
-    parser.add_argument("--seed", type=int, default=7, help="client RNG seed")
+    parser.add_argument(
+        "--seed", type=int, default=7,
+        help="base seed; each cell derives its own from (seed, workload, config, clients)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for independent cells (default: all available CPUs)",
+    )
     parser.add_argument(
         "--no-check", action="store_true",
         help="skip the isolation oracle (pure speed run)",
@@ -97,6 +115,26 @@ def build_parser():
     return parser
 
 
+def _make_cell_task(args, workload_name, config_name, clients, duration, warmup, check):
+    def cell():
+        workload = build_workload(workload_name, ycsb_profile=args.ycsb_profile)
+        configuration = WORKLOAD_CONFIGURATIONS[workload_name][config_name]()
+        seed = derive_point_seed(args.seed, workload_name, config_name, clients)
+        return run_benchmark(
+            workload,
+            configuration,
+            clients=clients,
+            duration=duration,
+            warmup=warmup,
+            seed=seed,
+            check_isolation=check,
+            isolation_level=args.level,
+            history_window=args.history_window,
+            raise_on_violation=False,
+        )
+    return cell
+
+
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -104,62 +142,62 @@ def main(argv=None):
     if args.list:
         list_registry()
         return 0
-    if args.workload is None:
-        parser.error("--workload is required (or use --list)")
+    if args.workload is None and not args.all:
+        parser.error("--workload is required (or use --all / --list)")
+    if args.all and args.workload:
+        parser.error("--all sweeps every workload; drop --workload (or drop --all)")
+    if args.all and args.config:
+        parser.error("--config only applies to a single --workload; drop it with --all")
 
-    configurations = WORKLOAD_CONFIGURATIONS[args.workload]
-    config_names = args.config or sorted(configurations)
-    unknown = [name for name in config_names if name not in configurations]
-    if unknown:
-        parser.error(
-            f"unknown configuration(s) {unknown} for {args.workload}; "
-            f"available: {sorted(configurations)}"
-        )
+    workload_names = sorted(WORKLOAD_CONFIGURATIONS) if args.all else [args.workload]
+    cells = []
+    for workload_name in workload_names:
+        configurations = WORKLOAD_CONFIGURATIONS[workload_name]
+        config_names = (args.config if not args.all else None) or sorted(configurations)
+        unknown = [name for name in config_names if name not in configurations]
+        if unknown:
+            parser.error(
+                f"unknown configuration(s) {unknown} for {workload_name}; "
+                f"available: {sorted(configurations)}"
+            )
+        for config_name in config_names:
+            for clients in args.clients if not args.quick else [8]:
+                cells.append((workload_name, config_name, clients))
 
-    clients_list = list(args.clients)
     duration, warmup = args.duration, args.warmup
     if args.quick:
-        clients_list, duration, warmup = [8], 0.3, 0.1
+        duration, warmup = 0.3, 0.1
 
     check = not args.no_check
-    results, violations = [], []
-    for config_name in config_names:
-        for clients in clients_list:
-            workload = build_workload(args.workload, ycsb_profile=args.ycsb_profile)
-            configuration = configurations[config_name]()
-            result = run_benchmark(
-                workload,
-                configuration,
-                clients=clients,
-                duration=duration,
-                warmup=warmup,
-                seed=args.seed,
-                check_isolation=check,
-                isolation_level=args.level,
-                history_window=args.history_window,
-                raise_on_violation=False,
-            )
-            results.append(result)
-            report = result.extra.get("isolation")
-            if report is None:
-                status = "unchecked"
-            elif report.ok:
-                status = f"isolation OK ({report.num_transactions} txns, {report.num_edges} edges)"
-            else:
-                status = "ISOLATION VIOLATION: " + report.describe()
-                violations.append((config_name, clients, report))
-            print(
-                f"{args.workload}/{config_name} clients={clients}: "
-                f"{result.throughput:.0f} txn/s, abort={result.abort_rate:.1%} — {status}"
-            )
+    workers = args.workers if args.workers is not None else available_workers()
+    tasks = [
+        _make_cell_task(args, workload_name, config_name, clients, duration, warmup, check)
+        for workload_name, config_name, clients in cells
+    ]
+    results = run_tasks(tasks, workers=workers)
+
+    violations = []
+    for (workload_name, config_name, clients), result in zip(cells, results):
+        report = result.extra.get("isolation")
+        if report is None:
+            status = "unchecked"
+        elif report.ok:
+            status = f"isolation OK ({report.num_transactions} txns, {report.num_edges} edges)"
+        else:
+            status = "ISOLATION VIOLATION: " + report.describe()
+            violations.append((workload_name, config_name, clients, report))
+        print(
+            f"{workload_name}/{config_name} clients={clients}: "
+            f"{result.throughput:.0f} txn/s, abort={result.abort_rate:.1%} — {status}"
+        )
 
     print()
     print(format_run_results(results))
     if violations:
         print(f"\n{len(violations)} isolation violation(s):", file=sys.stderr)
-        for config_name, clients, report in violations:
+        for workload_name, config_name, clients, report in violations:
             print(
-                f"  {args.workload}/{config_name} clients={clients}: {report.describe()}",
+                f"  {workload_name}/{config_name} clients={clients}: {report.describe()}",
                 file=sys.stderr,
             )
         return 1

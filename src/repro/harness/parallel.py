@@ -1,0 +1,95 @@
+"""Parallel experiment executor: fan independent benchmark points across processes.
+
+Every point of a sweep — one (workload × configuration × client-count)
+cell — starts from a freshly loaded database and a freshly built engine,
+so the experiment pipeline is embarrassingly parallel.  This module is the
+one place that knows how to exploit that: it runs a list of zero-argument
+tasks across ``fork``-ed worker processes and returns their results **in
+task order**, so callers aggregate exactly as if they had run serially.
+
+Determinism contract (the reason parallel and serial sweeps are
+byte-identical):
+
+* Tasks are closures executed in children created by ``fork``, which
+  inherit the parent's interpreter state (including the hash seed), so a
+  fixed-seed simulation computes the identical schedule it would have
+  computed in-process.
+* Each sweep point derives its RNG seed with :func:`derive_point_seed`
+  from ``(base_seed, workload, configuration, clients)`` — pure data, no
+  shared global state — so a point's outcome is independent of which
+  worker runs it, in which order, or whether any other point ran at all.
+* Results are reassembled by task index, making aggregation order
+  independent of completion order.
+
+Platforms without ``fork`` (and nested calls, and ``workers=1``) fall back
+to a plain serial loop with the same results.
+"""
+
+import multiprocessing
+import os
+import zlib
+
+__all__ = ["available_workers", "derive_point_seed", "run_tasks"]
+
+#: Module-global task list published to forked workers.  Children inherit
+#: it via fork (no pickling of closures); the parent clears it afterwards.
+_TASKS = None
+
+_SEED_SPACE = 2**31 - 1
+
+
+def available_workers():
+    """Worker count to use by default: the CPUs this process may run on."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # platforms without affinity support
+        return os.cpu_count() or 1
+
+
+def derive_point_seed(base_seed, *components):
+    """Derive a deterministic per-point RNG seed from pure data.
+
+    ``components`` name the sweep point (workload name, configuration name,
+    client count, ...); the result is a stable function of the base seed
+    and those names only — identical across processes, platforms and run
+    orders (crc32, not ``hash()``, which is salted per interpreter).
+    """
+    text = "\x1f".join(str(component) for component in components)
+    digest = zlib.crc32(text.encode("utf-8"))
+    return (base_seed * 1_000_003 + digest) % _SEED_SPACE
+
+
+def _run_indexed(index):
+    return index, _TASKS[index]()
+
+
+def run_tasks(tasks, workers=None):
+    """Execute zero-argument ``tasks``; return their results in task order.
+
+    ``workers=None`` uses :func:`available_workers`.  A single worker, a
+    single task, a platform without ``fork``, or a nested call (a task that
+    itself sweeps) all degrade to the serial loop — same results, no
+    process tree.
+    """
+    tasks = list(tasks)
+    if workers is None:
+        workers = available_workers()
+    workers = max(1, min(int(workers), len(tasks)))
+    global _TASKS
+    if (
+        workers <= 1
+        or len(tasks) < 2
+        or _TASKS is not None  # nested sweep inside a worker: stay serial
+        or "fork" not in multiprocessing.get_all_start_methods()
+    ):
+        return [task() for task in tasks]
+    _TASKS = tasks
+    try:
+        context = multiprocessing.get_context("fork")
+        results = [None] * len(tasks)
+        with context.Pool(processes=workers) as pool:
+            for index, result in pool.imap_unordered(_run_indexed, range(len(tasks))):
+                results[index] = result
+    finally:
+        _TASKS = None
+    return results

@@ -1,9 +1,14 @@
 """Parameter sweeps: throughput-vs-clients curves and peak throughput.
 
 These helpers regenerate the paper's figures: each figure is a family of
-(clients, throughput) series, one per configuration.
+(clients, throughput) series, one per configuration.  Points are executed
+through the parallel experiment executor
+(:mod:`repro.harness.parallel`) — every point starts from a freshly loaded
+database, so a sweep fans out across worker processes and still aggregates
+in deterministic point order.
 """
 
+from repro.harness.parallel import derive_point_seed, run_tasks
 from repro.harness.runner import run_benchmark
 
 
@@ -13,6 +18,7 @@ def client_sweep(
     client_counts,
     duration=4.0,
     warmup=1.0,
+    workers=None,
     **kwargs,
 ):
     """Measure throughput for each client count.
@@ -20,19 +26,35 @@ def client_sweep(
     ``workload_factory`` and ``configuration_factory`` are zero-argument
     callables so that every point of the sweep starts from a freshly loaded
     database, as in the paper's experiments.
+
+    Each point's RNG seed is derived from ``(seed, workload, configuration,
+    clients)`` — pass ``seed=`` to pick the base — so serial (``workers=1``)
+    and parallel sweeps of the same points produce identical series.
+    ``workers=None`` uses every available CPU.
     """
-    series = []
-    for clients in client_counts:
-        result = run_benchmark(
-            workload_factory(),
-            configuration_factory(),
-            clients=clients,
-            duration=duration,
-            warmup=warmup,
-            **kwargs,
-        )
-        series.append((clients, result))
-    return series
+    base_seed = kwargs.pop("seed", 7)
+    client_counts = list(client_counts)
+
+    def make_point(clients):
+        def point():
+            workload = workload_factory()
+            configuration = configuration_factory()
+            seed = derive_point_seed(
+                base_seed, type(workload).__name__, configuration.name, clients
+            )
+            return run_benchmark(
+                workload,
+                configuration,
+                clients=clients,
+                duration=duration,
+                warmup=warmup,
+                seed=seed,
+                **kwargs,
+            )
+        return point
+
+    results = run_tasks([make_point(clients) for clients in client_counts], workers=workers)
+    return list(zip(client_counts, results))
 
 
 def peak_throughput(series, default=None):

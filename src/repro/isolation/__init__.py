@@ -6,7 +6,10 @@ the anomalies (aborted/intermediate reads) and DSG cycles they proscribe.
 """
 
 from repro.isolation.history import History, HistoryRecorder, committed_history
-from repro.isolation.dsg import DirectSerializationGraph, build_dsg
+from repro.isolation.cycles import IncrementalCycleDetector, find_cycle
+from repro.isolation.dsg import DirectSerializationGraph, build_dsg, iter_dsg_edges
+from repro.isolation.levels import ISOLATION_LEVELS, LEVEL_EDGE_KINDS
+from repro.isolation.streaming import StreamingDSGChecker
 from repro.isolation.checker import (
     IsolationReport,
     check_engine,
@@ -18,8 +21,14 @@ __all__ = [
     "History",
     "HistoryRecorder",
     "committed_history",
+    "IncrementalCycleDetector",
+    "find_cycle",
     "DirectSerializationGraph",
     "build_dsg",
+    "iter_dsg_edges",
+    "ISOLATION_LEVELS",
+    "LEVEL_EDGE_KINDS",
+    "StreamingDSGChecker",
     "IsolationReport",
     "check_engine",
     "check_history",

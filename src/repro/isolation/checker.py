@@ -3,25 +3,32 @@
 Given a committed history the checker verifies the three conditions of the
 paper's correctness definition (Definition 4.2.1): no aborted reads, no
 intermediate reads, no circularity in the Direct Serialization Graph.
+
+Circularity is answered natively (no networkx on this path): a recorder
+built with a streaming level already holds the incremental verdict — its
+:class:`~repro.isolation.streaming.StreamingDSGChecker` folded every edge
+in at commit time — and :func:`check_history` falls back to one batch
+Tarjan pass (:func:`repro.isolation.cycles.find_cycle`) over the natively
+derived edges.  The networkx graph in :mod:`repro.isolation.dsg` remains
+the cross-checked reference implementation.
 """
 
 from dataclasses import dataclass, field
 
 from repro.errors import IsolationViolation
-from repro.isolation.dsg import build_dsg
+from repro.isolation.cycles import find_cycle
+from repro.isolation.dsg import iter_dsg_edges
 from repro.isolation.history import committed_history
+from repro.isolation.levels import ISOLATION_LEVELS, LEVEL_EDGE_KINDS, kinds_for
 
-#: DSG cycle restrictions per isolation level (Adya's definitions,
-#: item-level only, so repeatable read and serializable coincide).
-LEVEL_EDGE_KINDS = {
-    "read-uncommitted": frozenset({"ww"}),
-    "read-committed": frozenset({"ww", "wr"}),
-    "repeatable-read": frozenset({"ww", "wr", "rw"}),
-    "serializable": frozenset({"ww", "wr", "rw"}),
-}
-
-#: The level names accepted everywhere a level is plumbed through.
-ISOLATION_LEVELS = tuple(LEVEL_EDGE_KINDS)
+__all__ = [
+    "ISOLATION_LEVELS",
+    "LEVEL_EDGE_KINDS",
+    "IsolationReport",
+    "check_engine",
+    "check_history",
+    "check_recorder",
+]
 
 
 @dataclass
@@ -64,20 +71,8 @@ class IsolationReport:
         return "isolation violation: " + ", ".join(problems)
 
 
-def check_history(history, level="serializable"):
-    """Check a history against an isolation level.
-
-    ``level`` is one of :data:`ISOLATION_LEVELS`; the corresponding DSG
-    cycle restrictions follow Adya's definitions (item-level only, so
-    repeatable read and serializable coincide, as noted in Section 2.2.3).
-    An unknown level raises ``ValueError`` instead of silently checking
-    serializability.
-    """
-    kinds = LEVEL_EDGE_KINDS.get(level)
-    if kinds is None:
-        raise ValueError(
-            f"unknown isolation level {level!r}; choose one of {sorted(LEVEL_EDGE_KINDS)}"
-        )
+def _check_anomalies(history):
+    """Aborted- and intermediate-read passes (Definition 4.2.1, items 1-2)."""
     report = IsolationReport(num_transactions=len(history))
     committed = history.committed_ids()
 
@@ -103,11 +98,34 @@ def check_history(history, level="serializable"):
             final_seq = final_seqs.get((key, writer))
             if final_seq is not None and commit_seq != final_seq:
                 report.intermediate_reads.append((txn.txn_id, key, writer))
+    return report
 
-    # Circularity.
-    dsg = build_dsg(history)
-    report.num_edges = dsg.num_edges
-    cycle = dsg.find_cycle(kinds)
+
+def check_history(history, level="serializable"):
+    """Check a history against an isolation level.
+
+    ``level`` is one of :data:`ISOLATION_LEVELS`; the corresponding DSG
+    cycle restrictions follow Adya's definitions (item-level only, so
+    repeatable read and serializable coincide, as noted in Section 2.2.3).
+    An unknown level raises ``ValueError`` instead of silently checking
+    serializability.
+    """
+    kinds = kinds_for(level)
+    report = _check_anomalies(history)
+
+    # Circularity: one native Tarjan pass over the restricted edge set.
+    adjacency = {}
+    num_edges = 0
+    for source, target, kind in iter_dsg_edges(history):
+        num_edges += 1
+        if kind not in kinds:
+            continue
+        successors = adjacency.get(source)
+        if successors is None:
+            successors = adjacency[source] = set()
+        successors.add(target)
+    report.num_edges = num_edges
+    cycle = find_cycle(adjacency)
     if cycle:
         report.cycles.append(cycle)
         report.serializable = False
@@ -121,5 +139,25 @@ def check_engine(engine, level="serializable"):
 
 
 def check_recorder(recorder, level="serializable"):
-    """Check the history streamed into a :class:`HistoryRecorder`."""
+    """Check the history streamed into a :class:`HistoryRecorder`.
+
+    When the recorder streams into an in-line DSG checker at the same
+    level, the circularity verdict is already incremental — only the two
+    linear anomaly passes run here.  Otherwise this falls back to the full
+    post-hoc :func:`check_history` pass.
+    """
+    kinds = kinds_for(level)
+    checker = recorder.streaming_checker
+    if checker is not None and checker.kinds == kinds:
+        report = IsolationReport(num_transactions=recorder.recorded_commits)
+        report.aborted_reads = (
+            list(checker.aborted_reads) + checker.pending_aborted_reads()
+        )
+        report.intermediate_reads = list(checker.intermediate_reads)
+        report.num_edges = checker.num_edges
+        cycle = checker.cycle
+        if cycle:
+            report.cycles.append(list(cycle))
+            report.serializable = False
+        return report
     return check_history(recorder.history(), level=level)

@@ -4,23 +4,68 @@ Nodes are committed transactions; edges are the three kinds of direct
 dependencies: write-read (``wr``), write-write (``ww``) and read-write
 anti-dependencies (``rw``).  Isolation levels are characterised by which
 cycles they forbid.
+
+:func:`iter_dsg_edges` is the single source of truth for how a history
+maps to dependency edges; both the networkx reference graph built here and
+the native checker path (:mod:`repro.isolation.checker`) derive their edges
+from it, so equivalence tests compare detectors, not derivations.
 """
 
 from dataclasses import dataclass, field
 
 import networkx as nx
 
+ALL_EDGE_KINDS = frozenset({"ww", "wr", "rw"})
+
+
+def iter_dsg_edges(history):
+    """Yield every ``(source, target, kind)`` dependency edge of a history."""
+    committed = history.committed_ids()
+
+    # ww edges: consecutive committed versions of each key.
+    for order in history.version_orders.values():
+        previous_writer = None
+        for _seq, writer in order:
+            if previous_writer is not None and previous_writer in committed and writer in committed:
+                if previous_writer != writer:
+                    yield previous_writer, writer, "ww"
+            previous_writer = writer
+
+    # wr and rw edges from each transaction's reads.
+    for txn in history.transactions.values():
+        for key, writer, commit_seq in txn.reads:
+            if writer in committed and writer != txn.txn_id:
+                yield writer, txn.txn_id, "wr"
+            if commit_seq is None:
+                # Read of a version that never committed (should have been
+                # prevented); the checker flags it as an aborted read.
+                continue
+            next_writer, _next_seq = history.next_writer_after(key, commit_seq)
+            if next_writer is not None and next_writer in committed:
+                if next_writer != txn.txn_id:
+                    yield txn.txn_id, next_writer, "rw"
+
 
 @dataclass
 class DirectSerializationGraph:
-    """A DSG with typed edges, built from a :class:`~repro.isolation.history.History`."""
+    """A DSG with typed edges, built from a :class:`~repro.isolation.history.History`.
+
+    Kind-restricted views are memoised: repeated ``has_cycle``/``find_cycle``
+    queries (one per isolation level, say) reuse one restricted ``DiGraph``
+    per edge-kind frozenset instead of rebuilding it per query.  Mutate the
+    graph through :meth:`add_edge` (which invalidates the cache); the cache
+    also self-heals when nodes are added directly to ``graph``.
+    """
 
     graph: nx.MultiDiGraph = field(default_factory=nx.MultiDiGraph)
+    _subgraphs: dict = field(default_factory=dict, repr=False, compare=False)
 
     def add_edge(self, source, target, kind):
         if source == target:
             return
         self.graph.add_edge(source, target, kind=kind)
+        if self._subgraphs:
+            self._subgraphs.clear()
 
     def edges(self, kinds=None):
         for source, target, data in self.graph.edges(data=True):
@@ -28,15 +73,20 @@ class DirectSerializationGraph:
                 yield source, target, data["kind"]
 
     def subgraph(self, kinds):
-        """A plain DiGraph restricted to the given edge kinds."""
+        """A plain DiGraph restricted to the given edge kinds (cached)."""
+        kinds = frozenset(kinds)
+        cached = self._subgraphs.get(kinds)
+        if cached is not None and cached.number_of_nodes() == self.graph.number_of_nodes():
+            return cached
         restricted = nx.DiGraph()
         restricted.add_nodes_from(self.graph.nodes)
         for source, target, kind in self.edges(kinds):
             restricted.add_edge(source, target)
+        self._subgraphs[kinds] = restricted
         return restricted
 
     def has_cycle(self, kinds=None):
-        restricted = self.subgraph(kinds or {"ww", "wr", "rw"})
+        restricted = self.subgraph(kinds or ALL_EDGE_KINDS)
         try:
             nx.find_cycle(restricted)
             return True
@@ -44,7 +94,7 @@ class DirectSerializationGraph:
             return False
 
     def find_cycle(self, kinds=None):
-        restricted = self.subgraph(kinds or {"ww", "wr", "rw"})
+        restricted = self.subgraph(kinds or ALL_EDGE_KINDS)
         try:
             return nx.find_cycle(restricted)
         except nx.NetworkXNoCycle:
@@ -60,30 +110,10 @@ class DirectSerializationGraph:
 
 
 def build_dsg(history):
-    """Construct the DSG of a committed history."""
+    """Construct the (networkx reference) DSG of a committed history."""
     dsg = DirectSerializationGraph()
-    committed = history.committed_ids()
     for txn_id in history.transactions:
         dsg.graph.add_node(txn_id)
-
-    # ww edges: consecutive committed versions of each key.
-    for key, order in history.version_orders.items():
-        previous_writer = None
-        for _seq, writer in order:
-            if previous_writer is not None and previous_writer in committed and writer in committed:
-                dsg.add_edge(previous_writer, writer, "ww")
-            previous_writer = writer
-
-    # wr and rw edges from each transaction's reads.
-    for txn in history.transactions.values():
-        for key, writer, commit_seq in txn.reads:
-            if writer in committed and writer != txn.txn_id:
-                dsg.add_edge(writer, txn.txn_id, "wr")
-            if commit_seq is None:
-                # Read of a version that never committed (should have been
-                # prevented); the checker flags it as an aborted read.
-                continue
-            next_writer, _next_seq = history.next_writer_after(key, commit_seq)
-            if next_writer is not None and next_writer in committed:
-                dsg.add_edge(txn.txn_id, next_writer, "rw")
+    for source, target, kind in iter_dsg_edges(history):
+        dsg.add_edge(source, target, kind)
     return dsg

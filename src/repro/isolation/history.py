@@ -20,6 +20,9 @@ from bisect import bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.isolation.levels import kinds_for
+from repro.isolation.streaming import StreamingDSGChecker
+
 
 @dataclass
 class HistoryTransaction:
@@ -122,10 +125,23 @@ class HistoryRecorder:
     transactions surface via ``History.extra_committed`` — derived from the
     version orders (every evicted *writer* still appears there, and reads
     only ever reference writers) so eviction leaves no growing side table.
+
+    ``level`` enables the in-line streaming DSG checker: every commit's
+    dependency edges are derived immediately and fed to the incremental
+    cycle detector, so the circularity verdict at that isolation level is
+    ready the moment the run ends — no post-hoc graph pass.  The streaming
+    checker sees every commit (it is fed before ring eviction and is
+    unaffected by it).  ``level=None`` records only, as before.
     """
 
-    def __init__(self, max_transactions=None):
+    def __init__(self, max_transactions=None, level=None, trace_edges=False):
         self.max_transactions = max_transactions
+        self.level = level
+        self.streaming_checker = None
+        if level is not None:
+            self.streaming_checker = StreamingDSGChecker(
+                kinds_for(level), trace_edges=trace_edges
+            )
         # txn_id -> (txn_type, begin_time, end_time, [(key, commit_seq)], [(key, version)])
         self._records = OrderedDict()
         self._version_orders = {}
@@ -152,6 +168,8 @@ class HistoryRecorder:
             for record in txn.reads
             if record.version is not None
         ]
+        if self.streaming_checker is not None:
+            self.streaming_checker.on_commit(txn.txn_id, versions, reads)
         self._records[txn.txn_id] = (
             txn.txn_type, txn.begin_time, txn.end_time, writes, reads
         )
@@ -165,6 +183,8 @@ class HistoryRecorder:
 
     def on_abort(self, txn):
         """Record that a transaction aborted (readers of it are doomed)."""
+        if self.streaming_checker is not None:
+            self.streaming_checker.on_abort(txn.txn_id)
         aborted = self._aborted_ids
         aborted[txn.txn_id] = None
         limit = self.max_transactions

@@ -1,0 +1,28 @@
+"""Isolation levels and the DSG edge kinds each one restricts.
+
+Split out of :mod:`repro.isolation.checker` so that the streaming history
+recorder (which needs the kind sets to configure its in-line cycle
+detector) does not import the checker and create an import cycle.
+"""
+
+#: DSG cycle restrictions per isolation level (Adya's definitions,
+#: item-level only, so repeatable read and serializable coincide).
+LEVEL_EDGE_KINDS = {
+    "read-uncommitted": frozenset({"ww"}),
+    "read-committed": frozenset({"ww", "wr"}),
+    "repeatable-read": frozenset({"ww", "wr", "rw"}),
+    "serializable": frozenset({"ww", "wr", "rw"}),
+}
+
+#: The level names accepted everywhere a level is plumbed through.
+ISOLATION_LEVELS = tuple(LEVEL_EDGE_KINDS)
+
+
+def kinds_for(level):
+    """The DSG edge-kind set of ``level``; ``ValueError`` on unknown names."""
+    kinds = LEVEL_EDGE_KINDS.get(level)
+    if kinds is None:
+        raise ValueError(
+            f"unknown isolation level {level!r}; choose one of {sorted(LEVEL_EDGE_KINDS)}"
+        )
+    return kinds

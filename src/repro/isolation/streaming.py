@@ -1,0 +1,195 @@
+"""Streaming DSG maintenance: dependency edges derived at commit time.
+
+The post-hoc checker rebuilds the whole Direct Serialization Graph from a
+recorded history after the run (one networkx pass, roughly linear in
+reads+writes but with a large constant — the wall-clock cliff of checked
+runs).  :class:`StreamingDSGChecker` instead derives every ``ww``/``wr``/
+``rw`` edge *as transactions commit* and feeds them to an
+:class:`~repro.isolation.cycles.IncrementalCycleDetector`, in the spirit
+of DGCC's on-the-path dependency bookkeeping.  The aborted-read and
+intermediate-read anomalies are detected in the same pass, so the
+post-measurement "check" is just a sweep of the parked-reader frontier —
+no history materialisation, no graph build.
+
+Edge derivation per commit of ``T`` (mirrors :func:`~repro.isolation.dsg.build_dsg`):
+
+* reads ``(key, version)``: a ``wr`` edge from the version's committed
+  writer; an ``rw`` anti-dependency from ``T`` to the *next* committed
+  writer of the key (bisect on the streamed version order).  A read whose
+  successor has not committed yet — or whose writer is still in flight —
+  parks ``T`` in a per-``(key, writer)`` waiting set.
+* writes: a ``ww`` edge from the previous committed writer of each key, an
+  ``rw`` edge from every parked reader of that previous version, and a
+  ``wr`` edge to every committed reader that read ``T``'s own version
+  before ``T`` committed (runtime pipelining).
+
+Waiting sets are popped when the successor commits, so steady-state memory
+is the per-key frontier (readers of each key's latest version), not the
+whole run.  Writer id 0 (database population) is treated as an always
+committed pseudo-transaction that never appears as a graph node, matching
+the post-hoc builder.
+"""
+
+from bisect import bisect_right
+
+from repro.isolation.cycles import IncrementalCycleDetector
+
+
+class StreamingDSGChecker:
+    """Incremental DSG circularity + anomaly check over a commit/abort stream.
+
+    ``trace_edges=True`` additionally records the deduplicated typed edge
+    set in ``_edge_seen`` — test instrumentation for equivalence against
+    the post-hoc graph builder; production runs skip it.
+    """
+
+    __slots__ = (
+        "kinds",
+        "detector",
+        "_writers",
+        "_seqs",
+        "_waiting",
+        "_committed",
+        "_aborted",
+        "_final",
+        "_edge_seen",
+        "aborted_reads",
+        "intermediate_reads",
+        "num_edges",
+    )
+
+    def __init__(self, kinds, trace_edges=False):
+        self.kinds = frozenset(kinds)
+        self.detector = IncrementalCycleDetector()
+        self._writers = {}   # key -> [writer, ...] in commit order
+        self._seqs = {}      # key -> [commit_seq, ...] (parallel list, bisect)
+        self._waiting = {}   # (key, writer) -> {reader id: observed commit_seq}
+        self._committed = set()
+        self._aborted = set()
+        self._final = {}     # (key, writer) -> final commit_seq of that version
+        self._edge_seen = set() if trace_edges else None
+        self.aborted_reads = []
+        self.intermediate_reads = []
+        self.num_edges = 0
+
+    @property
+    def cycle(self):
+        """The first forbidden cycle (edge list) or ``None``."""
+        return self.detector.cycle
+
+    def has_cycle(self):
+        return self.detector.cycle is not None
+
+    def _add_edge(self, source, target, kind):
+        if source == target:
+            return
+        self.num_edges += 1
+        if self._edge_seen is not None:
+            self._edge_seen.add((source, target, kind))
+        if kind in self.kinds:
+            self.detector.add_edge(source, target)
+
+    def on_commit(self, txn_id, versions, reads):
+        """Fold one committed transaction into the graph.
+
+        ``versions`` are the freshly installed (committed) versions;
+        ``reads`` is a ``(key, version)`` list of the versions it observed.
+        """
+        committed = self._committed
+        writers_map, seqs_map, waiting = self._writers, self._seqs, self._waiting
+        final = self._final
+        add_edge = self._add_edge
+        for key, version in reads:
+            writer = version.writer
+            if writer == txn_id:
+                continue
+            seq = version.commit_seq
+            if writer in committed:
+                add_edge(writer, txn_id, "wr")
+                if seq is None:
+                    # Committed writer but an unsequenced version object: a
+                    # replaced intermediate; no rw edge is derivable (the
+                    # post-hoc builder skips it identically).
+                    continue
+                if final.get((key, writer), seq) != seq:
+                    self.intermediate_reads.append((txn_id, key, writer))
+            elif writer != 0:
+                if writer in self._aborted:
+                    self.aborted_reads.append((txn_id, key, writer))
+                else:
+                    # In-flight writer (pipelined read): its commit resolves
+                    # the wr edge (and the intermediate-read check against
+                    # its final version), a later writer of the key the rw
+                    # edge; a writer that never commits is flagged by
+                    # pending_aborted_reads().
+                    slot = waiting.get((key, writer))
+                    if slot is None:
+                        slot = waiting[(key, writer)] = {}
+                    slot[txn_id] = seq
+                continue
+            elif seq is None:
+                continue
+            # rw anti-dependency: next committed writer of the key after seq.
+            seqs = seqs_map.get(key)
+            if seqs:
+                index = bisect_right(seqs, seq)
+                if index < len(seqs):
+                    add_edge(txn_id, writers_map[key][index], "rw")
+                    continue
+            # No successor committed yet: park until one arrives.
+            slot = waiting.get((key, writer))
+            if slot is None:
+                slot = waiting[(key, writer)] = {}
+            slot[txn_id] = seq
+        committed.add(txn_id)
+        for version in versions:
+            key = version.key
+            seq = version.commit_seq
+            writers = writers_map.get(key)
+            if writers is None:
+                writers = writers_map[key] = []
+                seqs_map[key] = []
+            previous = writers[-1] if writers else 0
+            writers.append(txn_id)
+            seqs_map[key].append(seq)
+            final[(key, txn_id)] = seq
+            if previous:
+                add_edge(previous, txn_id, "ww")
+            parked = waiting.pop((key, previous), None)
+            if parked:
+                for reader in parked:
+                    add_edge(reader, txn_id, "rw")
+            pipelined = waiting.get((key, txn_id))
+            if pipelined:
+                # Readers that consumed T's version before T committed: the
+                # wr edge lands now (they stay parked for their rw edge),
+                # and a reader that observed a sequenced non-final version
+                # saw an intermediate write.
+                for reader, read_seq in pipelined.items():
+                    add_edge(txn_id, reader, "wr")
+                    if read_seq is not None and read_seq != seq:
+                        self.intermediate_reads.append((reader, key, txn_id))
+
+    def on_abort(self, txn_id):
+        """Record the abort so later-committing readers of it are flagged."""
+        self._aborted.add(txn_id)
+
+    def pending_aborted_reads(self):
+        """Parked readers whose writer never committed: aborted reads.
+
+        Run-end sweep of the waiting frontier — O(parked readers), the only
+        post-measurement work the streaming checker needs.  Mirrors the
+        post-hoc condition: the read is aborted when the writer aborted, or
+        when the observed version never got a commit sequence and its
+        writer never committed.
+        """
+        committed, aborted = self._committed, self._aborted
+        flagged = []
+        for (key, writer), readers in self._waiting.items():
+            if writer == 0 or writer in committed:
+                continue
+            writer_aborted = writer in aborted
+            for reader, seq in sorted(readers.items()):
+                if writer_aborted or seq is None:
+                    flagged.append((reader, key, writer))
+        return flagged

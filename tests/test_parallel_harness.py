@@ -1,0 +1,163 @@
+"""Parallel experiment executor: determinism and serial/parallel equivalence."""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.config import monolithic
+from repro.harness.parallel import available_workers, derive_point_seed, run_tasks
+from repro.harness.sweep import client_sweep
+from repro.workloads.micro import CrossGroupConflictWorkload
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _square(value):
+    return value * value
+
+
+class TestRunTasks:
+    def test_results_in_task_order(self):
+        tasks = [lambda v=v: _square(v) for v in range(8)]
+        assert run_tasks(tasks, workers=1) == [v * v for v in range(8)]
+        if HAS_FORK:
+            assert run_tasks(tasks, workers=4) == [v * v for v in range(8)]
+
+    def test_empty_and_single(self):
+        assert run_tasks([], workers=4) == []
+        assert run_tasks([lambda: 42], workers=4) == [42]
+
+    def test_worker_count_is_clamped(self):
+        assert run_tasks([lambda: 1, lambda: 2], workers=999) == [1, 2]
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_nested_calls_degrade_to_serial(self):
+        def outer(v):
+            def task():
+                return run_tasks([lambda: v, lambda: v + 1], workers=2)
+            return task
+
+        assert run_tasks([outer(0), outer(10)], workers=2) == [[0, 1], [10, 11]]
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_task_exceptions_propagate(self):
+        def boom():
+            raise RuntimeError("task failed")
+
+        with pytest.raises(RuntimeError):
+            run_tasks([boom, boom], workers=2)
+
+    def test_available_workers_positive(self):
+        assert available_workers() >= 1
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_point_seed(7, "tpcc", "2pl", 40) == derive_point_seed(
+            7, "tpcc", "2pl", 40
+        )
+
+    def test_every_component_matters(self):
+        base = derive_point_seed(7, "tpcc", "2pl", 40)
+        assert derive_point_seed(8, "tpcc", "2pl", 40) != base
+        assert derive_point_seed(7, "seats", "2pl", 40) != base
+        assert derive_point_seed(7, "tpcc", "ssi", 40) != base
+        assert derive_point_seed(7, "tpcc", "2pl", 41) != base
+
+    def test_seed_in_rng_range(self):
+        seed = derive_point_seed(123456789, "a-long-workload-name", "config", 10_000)
+        assert 0 <= seed < 2**31
+
+
+def _micro_workload():
+    return CrossGroupConflictWorkload(shared_rows=8, cold_rows=60)
+
+
+def _micro_config():
+    return monolithic("2pl", ("group_a_update", "group_b_update"))
+
+
+def _sweep_signature(series):
+    return [
+        (clients, result.commits, result.aborts, result.throughput)
+        for clients, result in series
+    ]
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_client_sweep_identical_across_worker_counts(self):
+        kwargs = dict(
+            client_counts=(4, 8),
+            duration=0.15,
+            warmup=0.05,
+        )
+        serial = client_sweep(_micro_workload, _micro_config, workers=1, **kwargs)
+        parallel = client_sweep(_micro_workload, _micro_config, workers=2, **kwargs)
+        assert _sweep_signature(serial) == _sweep_signature(parallel)
+
+    def test_sweep_points_use_distinct_derived_seeds(self):
+        series = client_sweep(
+            _micro_workload,
+            _micro_config,
+            client_counts=(4, 8),
+            duration=0.1,
+            warmup=0.0,
+            workers=1,
+        )
+        # Different client counts derive different seeds; with the same
+        # seed the 4-client prefix of both runs would coincide — commits
+        # differing while both runs stay deterministic is the cheap proxy.
+        assert len(series) == 2
+        assert all(result.commits > 0 for _clients, result in series)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_cli_registry_slice_identical_serial_vs_parallel(self, capsys):
+        """Same registry slice, same report, whatever the worker count."""
+        from repro.harness.cli import main
+
+        argv = [
+            "--workload", "micro",
+            "--config", "2pl", "--config", "ssi",
+            "--clients", "4",
+            "--duration", "0.1", "--warmup", "0.0",
+        ]
+        assert main(argv + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+        assert "isolation OK" in serial_out
+
+    def test_cli_all_flag_quick(self, capsys):
+        from repro.harness.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--all", "--config", "2pl"])
+        capsys.readouterr()
+
+
+class TestRunnerStillSerialByDefault:
+    def test_run_benchmark_unchanged_by_executor(self):
+        """Direct run_benchmark calls (fixed-seed tests, bench_speed) are
+        untouched by the executor: same seed plumbing as before."""
+        from repro.harness.runner import run_benchmark
+
+        workload = _micro_workload()
+        result = run_benchmark(
+            workload,
+            _micro_config(),
+            clients=4,
+            duration=0.1,
+            warmup=0.0,
+            seed=7,
+        )
+        repeat = run_benchmark(
+            _micro_workload(),
+            _micro_config(),
+            clients=4,
+            duration=0.1,
+            warmup=0.0,
+            seed=7,
+        )
+        assert (result.commits, result.aborts) == (repeat.commits, repeat.aborts)

@@ -1,0 +1,408 @@
+"""Streaming DSG checker: native detectors held to the networkx reference.
+
+Three layers of equivalence:
+
+* the incremental (Pearce-Kelly) detector and the batch Tarjan fallback
+  against ``networkx`` on random edge streams (Hypothesis);
+* the streaming edge derivation against the post-hoc builder on the
+  adversarial hand-built histories (intermediate read, G1c, G2, read-only
+  anomaly) replayed commit-by-commit through a streaming recorder;
+* end-to-end checked runs, where the streaming verdict must agree with the
+  full post-hoc pass over the same recorded history.
+"""
+
+from types import SimpleNamespace
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.runner import BenchmarkRunner
+from repro.core.config import monolithic
+from repro.isolation.checker import check_history, check_recorder
+from repro.isolation.cycles import IncrementalCycleDetector, find_cycle
+from repro.isolation.dsg import build_dsg
+from repro.isolation.history import History, HistoryRecorder, HistoryTransaction
+from repro.isolation.levels import LEVEL_EDGE_KINDS
+from repro.isolation.streaming import StreamingDSGChecker
+from repro.workloads.micro import CrossGroupConflictWorkload
+from repro.workloads.smallbank import SmallBankWorkload
+
+
+edge_streams = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(lambda e: e[0] != e[1]),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestIncrementalCycleDetector:
+    def test_forward_edges_never_cycle(self):
+        detector = IncrementalCycleDetector()
+        for source in range(10):
+            assert detector.add_edge(source, source + 1) is None
+        assert not detector.has_cycle()
+
+    def test_back_edge_closes_cycle_with_path(self):
+        detector = IncrementalCycleDetector()
+        detector.add_edge(1, 2)
+        detector.add_edge(2, 3)
+        cycle = detector.add_edge(3, 1)
+        assert cycle
+        # The cycle is a closed edge walk containing the closing edge.
+        assert (3, 1) in cycle
+        for (_, step_to), (step_from, _) in zip(cycle, cycle[1:] + cycle[:1]):
+            assert step_to == step_from
+
+    def test_self_loop_is_a_cycle(self):
+        detector = IncrementalCycleDetector()
+        assert detector.add_edge(4, 4) == [(4, 4)]
+        assert detector.has_cycle()
+
+    def test_duplicate_edges_are_ignored(self):
+        detector = IncrementalCycleDetector()
+        detector.add_edge(1, 2)
+        detector.add_edge(1, 2)
+        assert detector.num_edges == 1
+
+    def test_verdict_latches(self):
+        detector = IncrementalCycleDetector()
+        detector.add_edge(1, 2)
+        detector.add_edge(2, 1)
+        first = detector.cycle
+        detector.add_edge(5, 6)
+        assert detector.cycle is first
+
+    @given(edge_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_networkx_at_every_prefix(self, edges):
+        detector = IncrementalCycleDetector()
+        reference = nx.DiGraph()
+        cyclic = False
+        for source, target in edges:
+            detector.add_edge(source, target)
+            reference.add_edge(source, target)
+            if not cyclic:
+                cyclic = not nx.is_directed_acyclic_graph(reference)
+            assert detector.has_cycle() == cyclic, (edges, source, target)
+
+    @given(edge_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_batch_tarjan_matches_networkx(self, edges):
+        adjacency = {}
+        reference = nx.DiGraph()
+        for source, target in edges:
+            adjacency.setdefault(source, set()).add(target)
+            reference.add_edge(source, target)
+        cycle = find_cycle(adjacency)
+        assert (cycle is not None) == (not nx.is_directed_acyclic_graph(reference))
+        if cycle:
+            for (_, step_to), (step_from, _) in zip(cycle, cycle[1:] + cycle[:1]):
+                assert step_to == step_from
+            for source, target in cycle:
+                assert target in adjacency[source]
+
+
+# ---------------------------------------------------------------------------
+# Replaying hand-built histories through the streaming path
+# ---------------------------------------------------------------------------
+
+
+def replay_history(history, level="serializable"):
+    """Feed a hand-built :class:`History` through a streaming recorder.
+
+    Committed transactions are replayed in commit order (by their last
+    installed version; read-only transactions after every writer they could
+    have observed), with shared version stubs so reads reference the same
+    objects the writers install — exactly what the engine hands the
+    recorder at runtime.
+    """
+    recorder = HistoryRecorder(level=level, trace_edges=True)
+    stubs = {}
+    for key, order in history.version_orders.items():
+        for seq, writer in order:
+            stubs[(key, seq)] = SimpleNamespace(key=key, writer=writer, commit_seq=seq)
+
+    for txn_id in history.aborted_ids:
+        recorder.on_abort(SimpleNamespace(txn_id=txn_id))
+
+    def commit_order(txn):
+        seqs = [seq for _key, seq in txn.writes]
+        return (max(seqs) if seqs else float("inf"), txn.txn_id)
+
+    for txn in sorted(history.transactions.values(), key=commit_order):
+        versions = [stubs[(key, seq)] for key, seq in txn.writes]
+        reads = []
+        for key, writer, seq in txn.reads:
+            if seq is not None and (key, seq) in stubs:
+                version = stubs[(key, seq)]
+            else:
+                version = SimpleNamespace(key=key, writer=writer, commit_seq=seq)
+            reads.append(SimpleNamespace(key=key, version=version))
+        recorder.on_commit(
+            SimpleNamespace(
+                txn_id=txn.txn_id,
+                txn_type=txn.txn_type,
+                begin_time=txn.begin_time,
+                end_time=txn.end_time,
+                reads=reads,
+            ),
+            versions,
+        )
+    return recorder
+
+
+def history_from(transactions, version_orders, aborted=()):
+    history = History(aborted_ids=set(aborted))
+    for txn in transactions:
+        history.add_transaction(txn)
+    history.version_orders = version_orders
+    return history
+
+
+ADVERSARIAL_HISTORIES = {
+    "intermediate-read": (
+        [
+            HistoryTransaction(1, "w", writes=[("x", 2)]),
+            HistoryTransaction(2, "r", reads=[("x", 1, 1)]),
+        ],
+        {"x": [(1, 1), (2, 1)]},
+        (),
+    ),
+    "g1c-wr-ww-cycle": (
+        [
+            HistoryTransaction(1, "w", writes=[("x", 1), ("y", 4)]),
+            HistoryTransaction(2, "rw", reads=[("x", 1, 1)], writes=[("y", 3)]),
+        ],
+        {"x": [(1, 1)], "y": [(3, 2), (4, 1)]},
+        (),
+    ),
+    "g2-write-skew": (
+        [
+            HistoryTransaction(1, "t", reads=[("y", 0, 1)], writes=[("x", 3)]),
+            HistoryTransaction(2, "t", reads=[("x", 0, 2)], writes=[("y", 4)]),
+        ],
+        {"x": [(2, 0), (3, 1)], "y": [(1, 0), (4, 2)]},
+        (),
+    ),
+    "read-only-anomaly": (
+        [
+            HistoryTransaction(1, "upd", reads=[("s", 0, 1)], writes=[("s", 3)]),
+            HistoryTransaction(
+                2, "pivot", reads=[("s", 0, 1), ("c", 0, 2)], writes=[("c", 4)]
+            ),
+            HistoryTransaction(3, "ro", reads=[("s", 1, 3), ("c", 0, 2)]),
+        ],
+        {"s": [(1, 0), (3, 1)], "c": [(2, 0), (4, 2)]},
+        (),
+    ),
+    "aborted-read": (
+        [HistoryTransaction(1, "r", reads=[("x", 99, None)])],
+        {"x": []},
+        {99},
+    ),
+    "serializable-chain": (
+        [
+            HistoryTransaction(1, "w", writes=[("x", 1)]),
+            HistoryTransaction(2, "r", reads=[("x", 1, 1)], writes=[("y", 2)]),
+            HistoryTransaction(3, "r", reads=[("y", 2, 2)]),
+        ],
+        {"x": [(1, 1)], "y": [(2, 2)]},
+        (),
+    ),
+}
+
+
+class TestStreamingReplayEquivalence:
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL_HISTORIES))
+    @pytest.mark.parametrize("level", ["serializable", "read-committed"])
+    def test_adversarial_history_verdicts_match(self, name, level):
+        transactions, version_orders, aborted = ADVERSARIAL_HISTORIES[name]
+        history = history_from(transactions, version_orders, aborted)
+        reference = check_history(history, level=level)
+        recorder = replay_history(history, level=level)
+        streamed = check_recorder(recorder, level=level)
+        assert streamed.serializable == reference.serializable, name
+        assert bool(streamed.aborted_reads) == bool(reference.aborted_reads)
+        assert bool(streamed.intermediate_reads) == bool(reference.intermediate_reads)
+        assert streamed.ok == reference.ok
+
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL_HISTORIES))
+    def test_streaming_edges_match_reference_dsg(self, name):
+        """The streamed edge set equals the post-hoc builder's (deduplicated)."""
+        transactions, version_orders, aborted = ADVERSARIAL_HISTORIES[name]
+        history = history_from(transactions, version_orders, aborted)
+        recorder = replay_history(history)
+        reference_edges = {
+            (source, target, kind)
+            for source, target, kind in build_dsg(history).edges()
+            if source != target
+        }
+        assert recorder.streaming_checker._edge_seen == reference_edges
+
+
+class TestStreamingCheckedRuns:
+    def _run(self, workload, config, clients=8, duration=0.25, **kwargs):
+        runner = BenchmarkRunner(
+            workload, config, seed=11, check_isolation=True, **kwargs
+        )
+        try:
+            runner.run(clients, duration=duration, warmup=0.05)
+        finally:
+            runner.stop()
+        return runner
+
+    @pytest.mark.parametrize(
+        "workload_factory,config_cc",
+        [
+            (lambda: CrossGroupConflictWorkload(shared_rows=5, cold_rows=50), "2pl"),
+            (lambda: CrossGroupConflictWorkload(shared_rows=5, cold_rows=50), "ssi"),
+            (lambda: SmallBankWorkload(customers=50, hot_accounts=5), "ssi"),
+        ],
+    )
+    def test_streaming_verdict_matches_posthoc(self, workload_factory, config_cc):
+        workload = workload_factory()
+        runner = self._run(
+            workload, monolithic(config_cc, workload.transaction_names())
+        )
+        recorder = runner.recorder
+        assert recorder.streaming_checker is not None
+        streamed = check_recorder(recorder, level="serializable")
+        posthoc = check_history(recorder.history(), level="serializable")
+        assert streamed.serializable == posthoc.serializable
+        assert streamed.ok == posthoc.ok
+        assert streamed.ok, streamed.describe()
+        # And against the networkx reference graph itself.
+        assert not build_dsg(recorder.history()).has_cycle()
+
+    def test_streaming_survives_history_window_eviction(self):
+        workload = CrossGroupConflictWorkload(shared_rows=5, cold_rows=50)
+        runner = self._run(
+            workload,
+            monolithic("2pl", workload.transaction_names()),
+            duration=0.3,
+            history_window=25,
+        )
+        report = check_recorder(runner.recorder, level="serializable")
+        assert runner.recorder._evicted
+        assert report.ok, report.describe()
+
+    def test_check_recorder_falls_back_on_level_mismatch(self):
+        workload = CrossGroupConflictWorkload(shared_rows=5, cold_rows=50)
+        runner = self._run(
+            workload, monolithic("2pl", workload.transaction_names())
+        )
+        # The recorder streams at serializable; asking for read-committed
+        # must fall back to the post-hoc pass, not reuse the wrong kinds.
+        report = check_recorder(runner.recorder, level="read-committed")
+        assert report.ok, report.describe()
+
+    def test_recorder_rejects_unknown_stream_level(self):
+        with pytest.raises(ValueError):
+            HistoryRecorder(level="serialisable")
+
+
+class TestStreamingCheckerUnit:
+    def test_pipelined_read_resolves_wr_at_writer_commit(self):
+        # Reader consumes an in-flight version, commits first; the wr edge
+        # lands when the writer commits (runtime-pipelining shape).
+        checker = StreamingDSGChecker(
+            LEVEL_EDGE_KINDS["serializable"], trace_edges=True
+        )
+        version = SimpleNamespace(key="x", writer=1, commit_seq=None)
+        checker.on_commit(2, [], [("x", version)])
+        version.commit_seq = 5
+        checker.on_commit(1, [version], [])
+        assert (1, 2, "wr") in checker._edge_seen
+        # A later writer then closes the reader's rw anti-dependency.
+        version2 = SimpleNamespace(key="x", writer=3, commit_seq=6)
+        checker.on_commit(3, [version2], [])
+        assert (2, 3, "rw") in checker._edge_seen
+        assert not checker.has_cycle()
+
+    def test_pipelined_intermediate_read_flagged_at_writer_commit(self):
+        # Regression: a reader that commits before its writer and observed
+        # a sequenced non-final version must be flagged when the writer's
+        # final version lands — the post-hoc reference flags it, and at
+        # read-committed no rw cycle would mask the miss.
+        checker = StreamingDSGChecker(
+            LEVEL_EDGE_KINDS["read-committed"], trace_edges=True
+        )
+        stale = SimpleNamespace(key="x", writer=1, commit_seq=1)
+        final = SimpleNamespace(key="x", writer=1, commit_seq=2)
+        checker.on_commit(2, [], [("x", stale)])
+        checker.on_commit(1, [final], [])
+        assert checker.intermediate_reads == [(2, "x", 1)]
+        assert (1, 2, "wr") in checker._edge_seen
+
+    def test_parked_reader_of_never_committed_writer_is_aborted_read(self):
+        checker = StreamingDSGChecker(LEVEL_EDGE_KINDS["serializable"])
+        in_flight = SimpleNamespace(key="x", writer=9, commit_seq=None)
+        checker.on_commit(2, [], [("x", in_flight)])
+        assert checker.pending_aborted_reads() == [(2, "x", 9)]
+        # ...but not once the writer commits.
+        in_flight.commit_seq = 5
+        checker.on_commit(9, [in_flight], [])
+        assert checker.pending_aborted_reads() == []
+
+    def test_write_skew_cycle_detected_streaming(self):
+        checker = StreamingDSGChecker(LEVEL_EDGE_KINDS["serializable"])
+        x0 = SimpleNamespace(key="x", writer=0, commit_seq=1)
+        y0 = SimpleNamespace(key="y", writer=0, commit_seq=2)
+        x1 = SimpleNamespace(key="x", writer=1, commit_seq=3)
+        y2 = SimpleNamespace(key="y", writer=2, commit_seq=4)
+        checker.on_commit(1, [x1], [("y", y0)])
+        checker.on_commit(2, [y2], [("x", x0)])
+        assert checker.has_cycle()
+        cycle_nodes = {node for edge in checker.cycle for node in edge}
+        assert cycle_nodes == {1, 2}
+
+    def test_read_committed_kinds_ignore_rw(self):
+        checker = StreamingDSGChecker(LEVEL_EDGE_KINDS["read-committed"])
+        x0 = SimpleNamespace(key="x", writer=0, commit_seq=1)
+        y0 = SimpleNamespace(key="y", writer=0, commit_seq=2)
+        x1 = SimpleNamespace(key="x", writer=1, commit_seq=3)
+        y2 = SimpleNamespace(key="y", writer=2, commit_seq=4)
+        checker.on_commit(1, [x1], [("y", y0)])
+        checker.on_commit(2, [y2], [("x", x0)])
+        assert not checker.has_cycle()
+
+
+class TestSubgraphCaching:
+    def _history(self):
+        transactions = [
+            HistoryTransaction(1, "w", writes=[("x", 1)]),
+            HistoryTransaction(2, "rw", reads=[("x", 1, 1)], writes=[("x", 2)]),
+        ]
+        return history_from(transactions, {"x": [(1, 1), (2, 2)]})
+
+    def test_subgraph_is_cached_per_kind_set(self):
+        dsg = build_dsg(self._history())
+        first = dsg.subgraph({"ww", "wr"})
+        assert dsg.subgraph({"ww", "wr"}) is first
+        assert dsg.subgraph(frozenset({"wr", "ww"})) is first
+        other = dsg.subgraph({"rw"})
+        assert other is not first
+
+    def test_add_edge_invalidates_cache(self):
+        dsg = build_dsg(self._history())
+        stale = dsg.subgraph({"ww"})
+        dsg.add_edge(2, 3, "ww")
+        fresh = dsg.subgraph({"ww"})
+        assert fresh is not stale
+        assert fresh.has_edge(2, 3)
+
+    def test_direct_node_addition_self_heals(self):
+        dsg = build_dsg(self._history())
+        cached = dsg.subgraph({"ww"})
+        dsg.graph.add_node(99)
+        refreshed = dsg.subgraph({"ww"})
+        assert refreshed is not cached
+        assert 99 in refreshed
+
+    def test_has_cycle_and_find_cycle_reuse_cache(self):
+        dsg = build_dsg(self._history())
+        assert not dsg.has_cycle()
+        dsg.add_edge(2, 1, "ww")
+        assert dsg.has_cycle()
+        assert dsg.find_cycle()
