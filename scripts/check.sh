@@ -26,8 +26,14 @@ fi
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# PYTEST_MARKERS lets CI lanes filter the suite by marker expression
+# (fast lane: "not slow"); the default runs everything.
 echo "== tier-1 tests =="
-python -m pytest -x -q
+PYTEST_FILTER=()
+if [[ -n "${PYTEST_MARKERS:-}" ]]; then
+  PYTEST_FILTER=(-m "${PYTEST_MARKERS}")
+fi
+python -m pytest -x -q "${PYTEST_FILTER[@]}"
 
 echo
 echo "== speed smoke (quick) =="

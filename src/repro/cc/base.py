@@ -156,6 +156,18 @@ class ConcurrencyControl:
     def before_write(self, txn, key, value):
         """Execution phase, top-down: constrain (block/abort) a write."""
 
+    def before_scan(self, txn, key_range):
+        """Execution phase, top-down: constrain (block/abort) a range scan.
+
+        Called once per scan with the :class:`~repro.storage.ranges.KeyRange`
+        predicate *before* the engine enumerates the matching keys (each of
+        which then goes through the ordinary per-key read path).  Mechanisms
+        that must see predicates — range locks (2PL/RP), snapshot range read
+        sets (SSI), timestamped range reads (TSO) — override this; the
+        default leaves phantom handling to ancestors or to commit-time
+        validation (OCC).
+        """
+
     def select_version(self, txn, key):
         """Execution phase, bottom-up (leaf): propose the candidate version.
 

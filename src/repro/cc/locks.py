@@ -320,3 +320,105 @@ class LockTable:
             self._grant(record, request.txn, key, request.mode)
             if not request.event.triggered:
                 request.event.succeed(None)
+
+
+class RangeLockManager:
+    """Predicate (range) locks: the phantom guard of lock-based CCs.
+
+    Point locks cannot protect a scan against the *insertion* of a key that
+    matched its predicate but did not exist yet.  The manager closes that
+    window with two symmetrically registered intents, both held until the
+    owning transaction finishes:
+
+    * a scan registers its :class:`~repro.storage.ranges.KeyRange` as a
+      shared predicate; a later write of a key inside the range must wait
+      for the scanner to finish (strictness: the scanner's view of the
+      range stays stable until commit);
+    * a write registers a per-key write intent *before* it starts waiting
+      for its point lock; a later scan whose range covers the intent must
+      wait for the writer to finish.
+
+    Registration and conflict checks are synchronous (no yield between
+    them), so under the simulator's cooperative scheduling one side always
+    observes the other — there is no race window.  Same-child-group
+    transactions never conflict (nexus delegation: their phantoms are the
+    child CC's job), mirroring :class:`LockTable`.
+    """
+
+    def __init__(self, same_group=None):
+        self.same_group = same_group or (lambda a, b: False)
+        # table -> {txn_id: (txn, [KeyRange, ...])}
+        self._scans = {}
+        # table -> {txn_id: (txn, set of pks with write intents)}
+        self._intents = {}
+
+    @staticmethod
+    def _split(key):
+        if isinstance(key, tuple) and len(key) == 2:
+            return key
+        return key, key
+
+    def register_scan(self, txn, key_range):
+        per_table = self._scans.get(key_range.table)
+        if per_table is None:
+            per_table = self._scans[key_range.table] = {}
+        entry = per_table.get(txn.txn_id)
+        if entry is None:
+            per_table[txn.txn_id] = (txn, [key_range])
+        else:
+            entry[1].append(key_range)
+
+    def register_intent(self, txn, key):
+        table, pk = self._split(key)
+        per_table = self._intents.get(table)
+        if per_table is None:
+            per_table = self._intents[table] = {}
+        entry = per_table.get(txn.txn_id)
+        if entry is None:
+            per_table[txn.txn_id] = (txn, {pk})
+        else:
+            entry[1].add(pk)
+
+    def conflicting_scanners(self, txn, key):
+        """Active other-group scanners whose predicate covers ``key``."""
+        table, pk = self._split(key)
+        per_table = self._scans.get(table)
+        if not per_table:
+            return []
+        txn_id = txn.txn_id
+        blockers = []
+        for scanner_id, (scanner, ranges) in per_table.items():
+            if scanner_id == txn_id or not scanner.is_active:
+                continue
+            if self.same_group(txn, scanner):
+                continue
+            if any(key_range.contains_pk(pk) for key_range in ranges):
+                blockers.append(scanner)
+        return blockers
+
+    def conflicting_writers(self, txn, key_range):
+        """Active other-group writers with an intent inside ``key_range``."""
+        per_table = self._intents.get(key_range.table)
+        if not per_table:
+            return []
+        txn_id = txn.txn_id
+        blockers = []
+        for writer_id, (writer, pks) in per_table.items():
+            if writer_id == txn_id or not writer.is_active:
+                continue
+            if self.same_group(txn, writer):
+                continue
+            if any(key_range.contains_pk(pk) for pk in pks):
+                blockers.append(writer)
+        return blockers
+
+    def release(self, txn):
+        """Drop every predicate and intent of ``txn`` (at finish)."""
+        txn_id = txn.txn_id
+        for registry in (self._scans, self._intents):
+            stale = []
+            for table, per_table in registry.items():
+                if per_table.pop(txn_id, None) is not None and not per_table:
+                    stale.append(table)
+            for table in stale:
+                del registry[table]

@@ -57,6 +57,21 @@ class OptimisticCC(ConcurrencyControl):
             latest = self.engine.store.latest_committed(key)
             if latest is not None and (latest.commit_seq or 0) > snapshot_seq:
                 self._abort(txn, "occ-write-validation")
+        # Scan (phantom) validation: re-enumerate every scanned range; a key
+        # the scan never read that gained a committed version after the
+        # snapshot is a phantom the scan missed.
+        if txn.scans:
+            read_keys = {record.key for record in txn.reads}
+            own_writes = txn.writes
+            store = self.engine.store
+            for scan in txn.scans:
+                key_range = scan.key_range
+                for key in store.range_keys(key_range.table, key_range.lo, key_range.hi):
+                    if key in read_keys or key in own_writes:
+                        continue
+                    latest = store.latest_committed(key)
+                    if latest is not None and (latest.commit_seq or 0) > snapshot_seq:
+                        self._abort(txn, "occ-phantom-validation")
 
     def _abort(self, txn, reason):
         if self.engine.profiler is not None:

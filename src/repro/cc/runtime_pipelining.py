@@ -16,7 +16,7 @@ conflicts across child subtrees follow the pipeline rules above.
 
 from repro.analysis.rp_analysis import RPAnalysis, analyze_pipeline
 from repro.cc.base import ConcurrencyControl, register_cc
-from repro.cc.locks import EXCLUSIVE, SHARED, LockTable
+from repro.cc.locks import EXCLUSIVE, SHARED, LockTable, RangeLockManager
 from repro.errors import TransactionAborted
 from repro.sim.resources import Condition
 
@@ -67,6 +67,10 @@ class RuntimePipelining(ConcurrencyControl):
             profiles = engine.profiles_for(sorted(node.subtree_types))
             self.analysis = analyze_pipeline(profiles)
         self.progress = Condition(engine.env, name=f"rp-progress@{node.node_id}")
+        # Predicate locks for scans.  Unlike step locks these are held until
+        # finish: a step-committed scan's predicate must keep excluding
+        # phantom inserts, exactly like passed point accesses in ``_passed``.
+        self.ranges = RangeLockManager(same_group=self.same_child_group)
         self._active = {}
         self._step_committed = {}
         # key -> {txn_id: (txn, mode)}: still-active transactions that have
@@ -114,7 +118,45 @@ class RuntimePipelining(ConcurrencyControl):
         return self._pipelined_access(txn, key, EXCLUSIVE)
 
     def before_write(self, txn, key, value):
-        return self._pipelined_access(txn, key, EXCLUSIVE)
+        self.ranges.register_intent(txn, key)
+        inner = self._pipelined_access(txn, key, EXCLUSIVE)
+        if inner is None and not self.ranges.conflicting_scanners(txn, key):
+            return None
+        return self._write_past_ranges(txn, key, inner)
+
+    def _write_past_ranges(self, txn, key, inner):
+        if inner is not None:
+            yield from inner
+        yield from self.engine.wait_for_progress(
+            txn,
+            blockers_fn=lambda: self.ranges.conflicting_scanners(txn, key),
+            event_fn=lambda blocker: [blocker.finish_event],
+            reason="range-lock",
+        )
+
+    def before_scan(self, txn, key_range):
+        state = self.state(txn)
+        target = self._table_to_step.get(key_range.table, self._last_step)
+        self.ranges.register_scan(txn, key_range)
+        need_advance = target > state.get("step", -1)
+        if not need_advance and not self.ranges.conflicting_writers(txn, key_range):
+            return None
+        return self._scan_past_ranges(txn, key_range, state, target, need_advance)
+
+    def _scan_past_ranges(self, txn, key_range, state, target, need_advance):
+        if need_advance:
+            # A scan enters the scanned table's pipeline step exactly like a
+            # point access would; its per-key reads then reuse the step.
+            self._step_commit(txn, state)
+            state["step"] = target
+            self._signal_advance(txn, state)
+            yield from self._wait_for_pipeline(txn, target)
+        yield from self.engine.wait_for_progress(
+            txn,
+            blockers_fn=lambda: self.ranges.conflicting_writers(txn, key_range),
+            event_fn=lambda blocker: [blocker.finish_event],
+            reason="range-lock",
+        )
 
     def _pipelined_access(self, txn, key, mode):
         state = self.state(txn)
@@ -344,6 +386,7 @@ class RuntimePipelining(ConcurrencyControl):
             state["passed_keys"] = []
         self.locks.cancel_waits(txn)
         self.locks.release_all(txn)
+        self.ranges.release(txn)
         self._signal_advance(txn, state)
         self.progress.notify_all()
 

@@ -14,6 +14,8 @@ batching and pivot tracking are unnecessary and are switched off, which is
 the optimisation described at the end of Section 4.4.3.
 """
 
+from collections import deque
+
 from repro.cc.base import ConcurrencyControl, register_cc
 from repro.cc.timestamps import BatchManager
 from repro.errors import TransactionAborted
@@ -35,11 +37,24 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
         self.abort_backoff = abort_backoff
         self.batches = BatchManager(engine.oracle, batch_size=batch_size)
         self._readers = {}
+        # table -> {txn_id: (txn, [KeyRange, ...])}: the range read sets of
+        # active scanners.  A write into a concurrent scanner's range is an
+        # rw anti-dependency even when the key did not exist at scan time —
+        # the phantom edge item-level reader tracking cannot see.
+        self._range_readers = {}
         self._in_antidep = set()
         self._out_antidep = set()
         self._doomed = set()
         self._commit_ts = {}
         self._active_members = set()
+        # SIREAD-style retention (Ports & Grittner): a *committed* reader
+        # keeps constraining concurrent writers — its rw anti-dependency
+        # into a later write is exactly the edge that closes write-skew
+        # cycles after the reader has gone.  Entries are kept keyed by the
+        # reader's commit timestamp and drained once no active member's
+        # snapshot predates them.
+        self._member_starts = {}
+        self._committed_readers = deque()
         if batching is None:
             batching = self._needs_batching()
         self.batching = batching
@@ -95,7 +110,9 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
         itself can no longer be aborted — the only way to break the dangerous
         structure is to abort the reader that just discovered it (the
         committed-pivot rule of Ports & Grittner's SSI; this is how the
-        read-only anomaly is stopped once the pivot has won the race).
+        read-only anomaly is stopped once the pivot has won the race).  The
+        mirror case — a *committed reader* becoming a pivot through a
+        retained SIREAD entry — aborts the writer that discovered it.
         """
         reader_entity = self._entity(reader)
         writer_entity = self._entity(writer) if writer is not None else None
@@ -108,6 +125,8 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
                     self._abort(reader, "ssi-committed-pivot", writer)
         if reader_entity in self._in_antidep:
             self._doomed.add(reader_entity)
+            if reader.committed and writer is not None and writer.is_active:
+                self._abort(writer, "ssi-committed-pivot", reader)
 
     def _abort(self, txn, reason, other=None):
         if self.engine.profiler is not None:
@@ -120,6 +139,7 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
         state = self.state(txn)
         state["read_keys"] = set()
         self._active_members.add(txn.txn_id)
+        member_starts = self._member_starts
         if self.batching and not txn.read_only:
             token = txn.group_token(self.node.node_id) or txn.txn_id
             batch_id, start_ts = self.batches.admit(token)
@@ -129,10 +149,39 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
         else:
             state["batch_id"] = None
             state["start_ts"] = self.engine.oracle.next()
+        member_starts[txn.txn_id] = state["start_ts"]
         if txn.start_timestamp is None:
             txn.start_timestamp = state["start_ts"]
 
     # -- execution phase ---------------------------------------------------------------
+
+    def before_scan(self, txn, key_range):
+        """Register the scan's predicate as part of the snapshot read set.
+
+        The per-key snapshot reads of the enumerated keys are handled by the
+        ordinary read path; the predicate registration covers the keys that
+        do *not* exist yet, so a concurrent insert into the range marks the
+        phantom rw anti-dependency (and dooms pivots) exactly like a missed
+        item-level write.
+        """
+        if self.read_only_optimization and not txn.read_only:
+            # Update-group scans are fully regulated by the child CC, and
+            # read-only snapshots cannot observe phantoms (their whole scan
+            # is evaluated against one consistent snapshot).
+            return
+        per_table = self._range_readers.get(key_range.table)
+        if per_table is None:
+            per_table = self._range_readers[key_range.table] = {}
+        entry = per_table.get(txn.txn_id)
+        if entry is None:
+            per_table[txn.txn_id] = (txn, [key_range])
+        else:
+            entry[1].append(key_range)
+        state = self.state(txn)
+        tables = state.get("scan_tables")
+        if tables is None:
+            tables = state["scan_tables"] = set()
+        tables.add(key_range.table)
 
     def before_write(self, txn, key, value):
         if self.read_only_optimization and not txn.read_only:
@@ -153,16 +202,49 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
             if not self._delegated(txn, writer):
                 self._abort(txn, "ssi-ww-conflict", writer)
         # Readers that already missed this write form rw anti-dependencies.
+        # Committed readers stay relevant while concurrent (their commit
+        # falls after this transaction's snapshot) — the SIREAD retention.
         readers = self._readers.get(key)
         if readers:
             for reader_id, (reader, reader_ts) in list(readers.items()):
-                if reader_id == txn.txn_id or not reader.is_active:
+                if reader_id == txn.txn_id or not self._concurrent_reader(
+                    reader, start_ts
+                ):
                     continue
                 if self._delegated(txn, reader):
                     continue
                 self._mark_antidependency(reader, txn)
+        # Scanners whose predicate covers this key missed it too (phantom):
+        # this write commits after their snapshot, so the rw edge holds even
+        # when the key did not exist when they scanned.
+        table = key[0] if isinstance(key, tuple) and len(key) == 2 else key
+        range_readers = self._range_readers.get(table)
+        if range_readers:
+            pk = key[1] if isinstance(key, tuple) and len(key) == 2 else key
+            for reader_id, (reader, ranges) in list(range_readers.items()):
+                if reader_id == txn.txn_id or not self._concurrent_reader(
+                    reader, start_ts
+                ):
+                    continue
+                if self._delegated(txn, reader):
+                    continue
+                if any(key_range.contains_pk(pk) for key_range in ranges):
+                    self._mark_antidependency(reader, txn)
         if self._entity(txn) in self._doomed:
             self._abort(txn, "ssi-pivot")
+
+    def _concurrent_reader(self, reader, writer_start_ts):
+        """Whether ``reader``'s read set still constrains a writer's snapshot.
+
+        Active readers always do; committed readers only while concurrent
+        (their commit timestamp falls after the writer's snapshot — an
+        earlier-committed reader is serialized safely before the writer).
+        """
+        if reader.is_active:
+            return True
+        if not reader.committed:
+            return False
+        return self._commit_ts.get(reader.txn_id, 0) > writer_start_ts
 
     def _snapshot_read(self, txn, key, candidate):
         """Shared read logic for select_version (leaf) and amend_read (internal)."""
@@ -239,16 +321,52 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
 
     def finish(self, txn, committed):
         self._active_members.discard(txn.txn_id)
+        self._member_starts.pop(txn.txn_id, None)
         state = self.state(txn)
+        if committed and (state.get("read_keys") or state.get("scan_tables")):
+            # Retain the committed reader's (SIREAD) entries: they still
+            # constrain writers whose snapshots predate this commit.
+            self._committed_readers.append(
+                (self._commit_ts.get(txn.txn_id, 0), txn)
+            )
+        else:
+            self._prune_reader(txn, state)
+        batch_id = state.get("batch_id")
+        if batch_id is not None:
+            self.batches.discard(batch_id, txn.txn_id)
+        self._drain_committed_readers()
+
+    def _prune_reader(self, txn, state):
         for key in state.get("read_keys", ()):  # prune reader tracking
             readers = self._readers.get(key)
             if readers is not None:
                 readers.pop(txn.txn_id, None)
                 if not readers:
                     self._readers.pop(key, None)
-        batch_id = state.get("batch_id")
-        if batch_id is not None:
-            self.batches.discard(batch_id, txn.txn_id)
+        for table in state.get("scan_tables", ()):  # prune range tracking
+            range_readers = self._range_readers.get(table)
+            if range_readers is not None:
+                range_readers.pop(txn.txn_id, None)
+                if not range_readers:
+                    self._range_readers.pop(table, None)
+
+    def _drain_committed_readers(self):
+        """Drop retained committed readers no active snapshot can conflict with.
+
+        Commit timestamps are monotone, so the retention deque is ordered
+        and draining its prefix is amortized O(1) per finished transaction.
+        """
+        retained = self._committed_readers
+        if not retained:
+            return
+        member_starts = self._member_starts
+        oldest = min(member_starts.values()) if member_starts else None
+        while retained:
+            commit_ts, reader = retained[0]
+            if oldest is not None and commit_ts > oldest:
+                break
+            retained.popleft()
+            self._prune_reader(reader, self.state(reader))
 
     def can_garbage_collect(self, epoch):
         # Old snapshots may still need superseded versions while members run.

@@ -47,6 +47,11 @@ class TimestampOrdering(ConcurrencyControl):
         self.batches = BatchManager(engine.oracle, batch_size=batch_size)
         self.batching = (not node.is_leaf) if batching is None else batching
         self._reads = {}
+        # table -> {txn_id: (txn, ts, [KeyRange, ...])}: active range reads.
+        # A scan at timestamp T observes the *absence* of every matching key
+        # that does not exist yet; a later write at timestamp W < T into the
+        # range is a write the scan already missed and must abort.
+        self._range_reads = {}
         self._promises = {}
         self._active = {}
         self.progress = Condition(engine.env, name=f"tso@{node.node_id}")
@@ -126,17 +131,57 @@ class TimestampOrdering(ConcurrencyControl):
             reason="tso-promise",
         )
 
+    def before_scan(self, txn, key_range):
+        """Register a timestamped range read (phantom guard for TSO).
+
+        The per-key timestamp reads of existing keys are handled by the
+        ordinary read path (TSO exposes uncommitted versions, so in-flight
+        inserts are enumerated and readable); the registration covers keys
+        that do not exist yet, turning a later smaller-timestamp insert into
+        a write-too-late abort.
+        """
+        table = key_range.table
+        per_table = self._range_reads.get(table)
+        if per_table is None:
+            per_table = self._range_reads[table] = {}
+        entry = per_table.get(txn.txn_id)
+        if entry is None:
+            per_table[txn.txn_id] = (txn, self._ts(txn), [key_range])
+        else:
+            entry[2].append(key_range)
+        state = self.state(txn)
+        tables = state.get("scan_tables")
+        if tables is None:
+            tables = state["scan_tables"] = set()
+        tables.add(table)
+
     def before_write(self, txn, key, value):
         my_ts = self._ts(txn)
         readers = self._reads.get(key)
-        if not readers:
-            return
-        for reader_id, (reader, reader_ts, read_version_ts) in list(readers.items()):
-            if reader_id == txn.txn_id or self._same_batch(txn, reader):
-                continue
-            if reader_ts > my_ts and read_version_ts < my_ts:
-                # A later reader already missed this write: abort the writer.
-                self._abort(txn, "tso-write-too-late", reader)
+        if readers:
+            for reader_id, (reader, reader_ts, read_version_ts) in list(readers.items()):
+                if reader_id == txn.txn_id or self._same_batch(txn, reader):
+                    continue
+                if reader_ts > my_ts and read_version_ts < my_ts:
+                    # A later reader already missed this write: abort the writer.
+                    self._abort(txn, "tso-write-too-late", reader)
+        table = key[0] if isinstance(key, tuple) and len(key) == 2 else key
+        range_readers = self._range_reads.get(table)
+        if range_readers:
+            pk = key[1] if isinstance(key, tuple) and len(key) == 2 else key
+            for reader_id, (reader, reader_ts, ranges) in list(range_readers.items()):
+                if reader_id == txn.txn_id or self._same_batch(txn, reader):
+                    continue
+                if reader_ts <= my_ts:
+                    continue
+                if readers and reader_id in readers:
+                    # The scanner read an actual version of this key; the
+                    # item-level rule above already decided its fate.
+                    continue
+                if any(key_range.contains_pk(pk) for key_range in ranges):
+                    # A later scan observed the absence of this key: the
+                    # write arrives too late for its position in time.
+                    self._abort(txn, "tso-write-too-late", reader)
 
     def _timestamp_read(self, txn, key, candidate):
         my_ts = self._ts(txn)
@@ -220,6 +265,12 @@ class TimestampOrdering(ConcurrencyControl):
                 readers.pop(txn.txn_id, None)
                 if not readers:
                     self._reads.pop(key, None)
+        for table in state.get("scan_tables", ()):  # prune range tracking
+            range_readers = self._range_reads.get(table)
+            if range_readers is not None:
+                range_readers.pop(txn.txn_id, None)
+                if not range_readers:
+                    self._range_reads.pop(table, None)
         for key in txn.promises:
             promisors = self._promises.get(key)
             if promisors is not None:

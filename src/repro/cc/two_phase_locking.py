@@ -11,7 +11,7 @@ in-subtree dependencies have committed (the nexus-lock release order).
 """
 
 from repro.cc.base import ConcurrencyControl, register_cc
-from repro.cc.locks import EXCLUSIVE, SHARED, LockTable
+from repro.cc.locks import EXCLUSIVE, SHARED, LockTable, RangeLockManager
 
 
 @register_cc
@@ -34,6 +34,10 @@ class TwoPhaseLocking(ConcurrencyControl):
             order_guard=engine.depends_transitively,
             deadlock_check=engine.abort_if_wait_deadlock,
         )
+        # Predicate locks close the phantom window point locks cannot see:
+        # a scan's range conflicts with inserts of keys that match it but do
+        # not exist yet (and vice versa).  Held until finish, like the locks.
+        self.ranges = RangeLockManager(same_group=self.same_child_group)
 
     # -- execution phase -------------------------------------------------------
 
@@ -47,7 +51,34 @@ class TwoPhaseLocking(ConcurrencyControl):
         return self.locks.request(txn, key, EXCLUSIVE)
 
     def before_write(self, txn, key, value):
-        return self.locks.request(txn, key, EXCLUSIVE)
+        # The write intent is registered before any wait so a concurrent
+        # scan registering its range afterwards is guaranteed to see it.
+        self.ranges.register_intent(txn, key)
+        wait = self.locks.request(txn, key, EXCLUSIVE)
+        if wait is None and not self.ranges.conflicting_scanners(txn, key):
+            return None
+        return self._write_past_ranges(txn, key, wait)
+
+    def _write_past_ranges(self, txn, key, wait):
+        if wait is not None:
+            yield from wait
+        yield from self.engine.wait_for_progress(
+            txn,
+            blockers_fn=lambda: self.ranges.conflicting_scanners(txn, key),
+            event_fn=lambda blocker: [blocker.finish_event],
+            reason="range-lock",
+        )
+
+    def before_scan(self, txn, key_range):
+        self.ranges.register_scan(txn, key_range)
+        if not self.ranges.conflicting_writers(txn, key_range):
+            return None
+        return self.engine.wait_for_progress(
+            txn,
+            blockers_fn=lambda: self.ranges.conflicting_writers(txn, key_range),
+            event_fn=lambda blocker: [blocker.finish_event],
+            reason="range-lock",
+        )
 
     def amend_read(self, txn, key, candidate):
         """Accept an uncommitted proposal from this subtree, else read committed.
@@ -77,6 +108,7 @@ class TwoPhaseLocking(ConcurrencyControl):
     def finish(self, txn, committed):
         self.locks.cancel_waits(txn)
         self.locks.release_all(txn)
+        self.ranges.release(txn)
 
     def can_garbage_collect(self, epoch):
         return True

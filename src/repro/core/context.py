@@ -7,6 +7,7 @@ time.  The context also offers small conveniences (read-modify-write,
 existence checks) used by the TPC-C and SEATS implementations.
 """
 
+from repro.storage.ranges import bounded_range, prefix_range
 from repro.storage.tables import composite_key
 
 
@@ -59,6 +60,30 @@ class TransactionContext:
         """
         return self._engine.perform_write(
             self._txn, composite_key(table, *parts), dict(row)
+        )
+
+    def scan(self, table, *, lo=None, hi=None, prefix=None, limit=None,
+             for_update=False):
+        """Ordered range scan; returns ``[(pk, row), ...]`` in key order.
+
+        The predicate is either an inclusive ``[lo, hi]`` primary-key range
+        or a ``prefix`` tuple over a composite key (all keys starting with
+        the prefix).  Missing/deleted rows are skipped; ``limit`` bounds the
+        rows returned.  The scan is a first-class access: CC mechanisms see
+        the predicate (range locks, snapshot range read sets) and every
+        enumerated key goes through the normal per-key read path, so the
+        isolation oracle can hold scans to the same standard as point reads.
+
+        Returns the engine coroutine directly (callers ``yield from`` it).
+        """
+        if prefix is not None:
+            if lo is not None or hi is not None:
+                raise ValueError("scan() takes either prefix or lo/hi, not both")
+            key_range = prefix_range(table, *prefix)
+        else:
+            key_range = bounded_range(table, lo, hi)
+        return self._engine.perform_scan(
+            self._txn, key_range, limit=limit, for_update=for_update
         )
 
     def update(self, table, *parts, updates):

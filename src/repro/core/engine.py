@@ -31,7 +31,7 @@ from repro.cc.timestamps import TimestampOracle
 from repro.core.config import Configuration
 from repro.core.context import TransactionContext
 from repro.core.stats import StatsCollector
-from repro.core.transaction import ReadRecord, Transaction, TransactionStatus
+from repro.core.transaction import ReadRecord, ScanRecord, Transaction, TransactionStatus
 from repro.core.tree import build_routes, build_tree
 from repro.errors import ConfigurationError, TransactionAborted
 from repro.sim.events import Event, Timeout, any_of
@@ -429,6 +429,58 @@ class TebaldiEngine:
         for after_write_hook in charges.after_write_hooks:
             after_write_hook(txn, key, version)
         return version
+
+    def perform_scan(self, txn, key_range, limit=None, for_update=False):
+        """Coroutine implementing one ordered range scan of the execution phase.
+
+        The scan first runs the top-down ``before_scan`` hooks with the
+        :class:`~repro.storage.ranges.KeyRange` predicate (range locks,
+        snapshot range registration, timestamp range reads), then enumerates
+        the matching keys from the store's ordered index — including
+        in-flight inserts — and drives every key through the ordinary
+        per-key read path, so CC hooks constrain each key exactly as they
+        would a point read.  Returns ``[(pk, row), ...]`` in key order,
+        skipping missing/deleted rows; ``limit`` bounds the number of rows
+        returned (not keys examined).
+
+        The scan is recorded on the transaction (``txn.scans``) with its
+        *effective* range — truncated to the last enumerated key when the
+        limit stopped it early — which is what the isolation oracle uses to
+        derive phantom anti-dependencies.
+        """
+        status = txn.status
+        if status is not _ACTIVE and status is not _VALIDATING:
+            raise TransactionAborted(txn.txn_id, txn.abort_reason or "not-active")
+        charges = txn.charges
+        options = self.options
+        if options.charge_costs:
+            # One operation charge for the index probe; every enumerated key
+            # then pays the normal per-read charge in perform_read.
+            if options.model_cpu:
+                yield from self._charge_operation(charges)
+            else:
+                yield Timeout(self.env, charges.op_delay)
+        for hook in charges.scan_hooks:
+            step = hook(txn, key_range)
+            if step is not None:
+                yield from step
+        candidates = self.store.range_keys(key_range.table, key_range.lo, key_range.hi)
+        rows = []
+        last_key = None
+        truncated = False
+        for key in candidates:
+            value = yield from self.perform_read(txn, key, for_update=for_update)
+            last_key = key
+            if value is not None:
+                rows.append((key[1], value))
+                if limit is not None and len(rows) >= limit:
+                    truncated = True
+                    break
+        effective = key_range
+        if truncated and last_key is not None:
+            effective = key_range.truncated(last_key[1])
+        txn.scans.append(ScanRecord(effective, self.env._now))
+        return rows
 
     def wait_would_deadlock(self, txn, blocker_id):
         """True if blocking on ``blocker_id`` closes a wait-for cycle.

@@ -26,6 +26,21 @@ class ReadRecord(NamedTuple):
     at: float = 0.0
 
 
+class ScanRecord(NamedTuple):
+    """One range scan performed by a transaction.
+
+    ``key_range`` is the *effective* predicate — a limited scan that stopped
+    early is truncated to the last key it enumerated, because the
+    transaction only depended on the key space up to that point.  The keys
+    the scan actually observed are in ``txn.reads`` (one
+    :class:`ReadRecord` per enumerated key); the isolation oracle derives
+    phantom rw anti-dependencies from the difference.
+    """
+
+    key_range: Any
+    at: float = 0.0
+
+
 @dataclass(slots=True)
 class Transaction:
     """Runtime state of one transaction instance.
@@ -59,6 +74,8 @@ class Transaction:
     reads: list = field(default_factory=list)
     writes: dict = field(default_factory=dict)
     write_order: list = field(default_factory=list)
+    # Range scans (ScanRecord per ctx.scan call); empty for point workloads.
+    scans: list = field(default_factory=list)
 
     # Direct dependencies (txn ids this transaction must be ordered after)
     # and the reverse edges (txn ids ordered after this transaction), which

@@ -110,6 +110,9 @@ class PartitionedCC:
     def before_write(self, txn, key, value):
         return self.instance_for(txn).before_write(txn, key, value)
 
+    def before_scan(self, txn, key_range):
+        return self.instance_for(txn).before_scan(txn, key_range)
+
     def select_version(self, txn, key):
         return self.instance_for(txn).select_version(txn, key)
 
@@ -175,6 +178,7 @@ class Route:
         "read_hooks",
         "update_read_hooks",
         "write_hooks",
+        "scan_hooks",
         "select_version",
         "amend_hooks",
         "after_write_hooks",
@@ -219,6 +223,9 @@ class Route:
         )
         self.write_hooks = tuple(
             cc.before_write for cc in down if _overrides(cc, "before_write")
+        )
+        self.scan_hooks = tuple(
+            cc.before_scan for cc in down if _overrides(cc, "before_scan")
         )
         self.select_version = ccs[-1].select_version
         self.amend_hooks = tuple(

@@ -30,6 +30,7 @@ from repro.harness.report import format_run_results
 from repro.harness.runner import run_benchmark
 from repro.isolation.levels import ISOLATION_LEVELS
 from repro.workloads.micro import CrossGroupConflictWorkload
+from repro.workloads.queue import QueueWorkload
 from repro.workloads.seats import SEATSWorkload
 from repro.workloads.smallbank import SmallBankWorkload
 from repro.workloads.tpcc import TPCCWorkload
@@ -40,6 +41,8 @@ def build_workload(name, ycsb_profile="a"):
     """Construct a workload at the CLI's laptop-scale defaults."""
     if name == "tpcc":
         return TPCCWorkload(warehouses=2)
+    if name == "tpcc-scan":
+        return TPCCWorkload(warehouses=2, include_payment_by_name=True)
     if name == "seats":
         return SEATSWorkload(flights=10)
     if name == "micro":
@@ -48,6 +51,14 @@ def build_workload(name, ycsb_profile="a"):
         return SmallBankWorkload(customers=500, hot_accounts=10)
     if name == "ycsb":
         return YCSBWorkload(records=1000, profile=ycsb_profile)
+    if name == "ycsb-zipf":
+        # The larger-keyspace zipfian preset (YCSB's native distribution).
+        return YCSBWorkload(
+            records=2000, profile=ycsb_profile,
+            distribution="zipfian", zipf_theta=0.9,
+        )
+    if name == "queue":
+        return QueueWorkload(initial_messages=6, window=8)
     raise ValueError(f"unknown workload {name!r}")
 
 
@@ -148,6 +159,15 @@ def main(argv=None):
         parser.error("--all sweeps every workload; drop --workload (or drop --all)")
     if args.all and args.config:
         parser.error("--config only applies to a single --workload; drop it with --all")
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be a positive integer, got {args.workers}")
+    bad_clients = [clients for clients in args.clients if clients < 1]
+    if bad_clients:
+        parser.error(f"--clients must be positive integers, got {bad_clients}")
+    if args.duration <= 0:
+        parser.error(f"--duration must be positive, got {args.duration}")
+    if args.warmup < 0:
+        parser.error(f"--warmup must be non-negative, got {args.warmup}")
 
     workload_names = sorted(WORKLOAD_CONFIGURATIONS) if args.all else [args.workload]
     cells = []

@@ -17,6 +17,15 @@ the isolation oracle through this registry.
 from repro.core.config import Configuration, leaf, monolithic, node
 
 TPCC_TRANSACTIONS = ("new_order", "payment", "delivery", "order_status", "stock_level")
+#: TPC-C with the by-name payment variant (customer-last-name index scan).
+TPCC_SCAN_TRANSACTIONS = (
+    "new_order",
+    "payment",
+    "payment_by_name",
+    "delivery",
+    "order_status",
+    "stock_level",
+)
 SEATS_UPDATES = (
     "new_reservation",
     "delete_reservation",
@@ -137,6 +146,63 @@ def tpcc_hot_item_4layer():
             label="HotItem-4layer",
         ),
         name="hot-item-4layer",
+    )
+
+
+# ---------------------------------------------------------------------------
+# TPC-C payment-by-name (scan-bearing) configurations
+# ---------------------------------------------------------------------------
+
+def tpcc_scan_monolithic_2pl():
+    """Monolithic 2PL over the mix with by-name payments (predicate locks)."""
+    return monolithic("2pl", TPCC_SCAN_TRANSACTIONS, name="tpcc-scan-2pl")
+
+
+def tpcc_scan_monolithic_ssi():
+    """Monolithic SSI: by-name scans are snapshot range reads."""
+    return monolithic("ssi", TPCC_SCAN_TRANSACTIONS, name="tpcc-scan-ssi")
+
+
+def tpcc_scan_2layer():
+    """SSI separating the read-only transactions from one 2PL update group."""
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", "order_status", "stock_level", label="ReadOnly"),
+            leaf(
+                "2pl",
+                "new_order",
+                "payment",
+                "payment_by_name",
+                "delivery",
+                label="2PL updates",
+            ),
+            label="TPCC-scan-2layer",
+        ),
+        name="tpcc-scan-2layer",
+    )
+
+
+def tpcc_scan_3layer():
+    """SSI over {read-only, 2PL over {RP(NO,PAY), 2PL(by-name, delivery)}}.
+
+    The by-name payment stays out of the RP group (its index scan needs the
+    2PL predicate locks), so the cross-group 2PL node mediates the scan
+    against the pipelined by-id payments — the nexus range-lock path.
+    """
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", "order_status", "stock_level", label="ReadOnly"),
+            node(
+                "2pl",
+                leaf("rp", "new_order", "payment", label="RP(NO,PAY)"),
+                leaf("2pl", "payment_by_name", "delivery", label="2PL(BYNAME,DEL)"),
+                label="Updates",
+            ),
+            label="TPCC-scan-3layer",
+        ),
+        name="tpcc-scan-3layer",
     )
 
 
@@ -391,6 +457,60 @@ def ycsb_3layer():
 
 
 # ---------------------------------------------------------------------------
+# Queue/outbox configurations
+# ---------------------------------------------------------------------------
+
+QUEUE_UPDATES = ("enqueue", "dequeue", "sweep")
+QUEUE_TRANSACTIONS = ("peek",) + QUEUE_UPDATES
+
+
+def queue_monolithic_2pl():
+    """Monolithic 2PL: dequeue scans vs enqueue inserts via predicate locks."""
+    return monolithic("2pl", QUEUE_TRANSACTIONS, name="queue-2pl")
+
+
+def queue_monolithic_ssi():
+    """Monolithic SSI: dequeue scans register snapshot range read sets."""
+    return monolithic("ssi", QUEUE_TRANSACTIONS, name="queue-ssi")
+
+
+def queue_2layer():
+    """SSI separating the read-only peek from one 2PL update group."""
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", "peek", label="ReadOnly"),
+            leaf("2pl", *QUEUE_UPDATES, label="2PL updates"),
+            label="Queue-2layer",
+        ),
+        name="queue-2layer",
+    )
+
+
+def queue_3layer():
+    """SSI over {peek, 2PL over {2PL(enqueue), 2PL(dequeue, sweep)}}.
+
+    Producers and consumers sit in *different* child groups, so the
+    dequeue's bounded scan conflicts with enqueue's tail inserts at the
+    internal 2PL node — the cross-group (nexus) predicate-lock path.
+    """
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", "peek", label="ReadOnly"),
+            node(
+                "2pl",
+                leaf("2pl", "enqueue", label="2PL(producer)"),
+                leaf("2pl", "dequeue", "sweep", label="2PL(consumer)"),
+                label="Updates",
+            ),
+            label="Queue-3layer",
+        ),
+        name="queue-3layer",
+    )
+
+
+# ---------------------------------------------------------------------------
 # Registries
 # ---------------------------------------------------------------------------
 
@@ -430,11 +550,30 @@ YCSB_CONFIGURATIONS = {
     "3layer": ycsb_3layer,
 }
 
+TPCC_SCAN_CONFIGURATIONS = {
+    "2pl": tpcc_scan_monolithic_2pl,
+    "ssi": tpcc_scan_monolithic_ssi,
+    "2layer": tpcc_scan_2layer,
+    "3layer": tpcc_scan_3layer,
+}
+
+QUEUE_CONFIGURATIONS = {
+    "2pl": queue_monolithic_2pl,
+    "ssi": queue_monolithic_ssi,
+    "2layer": queue_2layer,
+    "3layer": queue_3layer,
+}
+
 #: workload name -> {configuration name -> zero-argument factory}.
+#: ``tpcc-scan`` and ``queue`` carry range scans; ``ycsb-zipf`` shares the
+#: YCSB trees (same transaction types, zipfian keys at a larger keyspace).
 WORKLOAD_CONFIGURATIONS = {
     "tpcc": TPCC_CONFIGURATIONS,
+    "tpcc-scan": TPCC_SCAN_CONFIGURATIONS,
     "seats": SEATS_CONFIGURATIONS,
     "micro": MICRO_CONFIGURATIONS,
     "smallbank": SMALLBANK_CONFIGURATIONS,
     "ycsb": YCSB_CONFIGURATIONS,
+    "ycsb-zipf": YCSB_CONFIGURATIONS,
+    "queue": QUEUE_CONFIGURATIONS,
 }

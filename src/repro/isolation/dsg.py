@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
+from repro.storage.ranges import slice_sorted_pks
+
 ALL_EDGE_KINDS = frozenset({"ww", "wr", "rw"})
 
 
@@ -44,6 +46,47 @@ def iter_dsg_edges(history):
             if next_writer is not None and next_writer in committed:
                 if next_writer != txn.txn_id:
                     yield txn.txn_id, next_writer, "rw"
+
+    # Phantom rw edges from recorded scans: a scan anti-depends on the first
+    # committed writer of every key its predicate covers but it never read —
+    # the scan observed the key's absence, which precedes that version.
+    # (The loader, writer 0, is skipped: its versions predate every scan, so
+    # a scan that missed one simply had the version hidden by its CC; the
+    # derivable constraint is against the first transactional writer.)
+    scanners = [txn for txn in history.transactions.values() if txn.scans]
+    if scanners:
+        table_pks = {}
+        first_writer = {}
+        for key, order in history.version_orders.items():
+            if not (isinstance(key, tuple) and len(key) == 2):
+                continue
+            writer = next(
+                (w for _seq, w in order if w != 0 and w in committed), None
+            )
+            if writer is None:
+                continue
+            table, pk = key
+            pks = table_pks.get(table)
+            if pks is None:
+                pks = table_pks[table] = []
+            pks.append(pk)
+            first_writer[key] = writer
+        for pks in table_pks.values():
+            pks.sort()
+        for txn in scanners:
+            read_keys = {key for key, _writer, _seq in txn.reads}
+            for key_range in txn.scans:
+                pks = table_pks.get(key_range.table)
+                if not pks:
+                    continue
+                start, stop = slice_sorted_pks(pks, key_range.lo, key_range.hi)
+                for pk in pks[start:stop]:
+                    key = (key_range.table, pk)
+                    if key in read_keys:
+                        continue
+                    writer = first_writer[key]
+                    if writer != txn.txn_id:
+                        yield txn.txn_id, writer, "rw"
 
 
 @dataclass

@@ -32,6 +32,7 @@ class HistoryTransaction:
     txn_type: str
     reads: list = field(default_factory=list)     # (key, writer_id, commit_seq|None)
     writes: list = field(default_factory=list)    # (key, commit_seq)
+    scans: list = field(default_factory=list)     # KeyRange per range scan
     begin_time: float = 0.0
     end_time: float = 0.0
 
@@ -132,9 +133,22 @@ class HistoryRecorder:
     ready the moment the run ends — no post-hoc graph pass.  The streaming
     checker sees every commit (it is fed before ring eviction and is
     unaffected by it).  ``level=None`` records only, as before.
+
+    With the streaming checker on, the retained records are only a
+    convenience (``history()`` for diagnostics) — the verdict never needs
+    them — so retention defaults to a bounded ring
+    (:data:`STREAMING_WINDOW_DEFAULT`) instead of the whole run.  This pins
+    the recorder's memory in long checked runs: record retention, not the
+    checker, used to dominate checked-run overhead.  Pass an explicit
+    ``max_transactions`` (or ``level=None``) to override.
     """
 
+    #: Default record-ring size when the streaming checker is active.
+    STREAMING_WINDOW_DEFAULT = 50_000
+
     def __init__(self, max_transactions=None, level=None, trace_edges=False):
+        if max_transactions is None and level is not None:
+            max_transactions = self.STREAMING_WINDOW_DEFAULT
         self.max_transactions = max_transactions
         self.level = level
         self.streaming_checker = None
@@ -168,10 +182,13 @@ class HistoryRecorder:
             for record in txn.reads
             if record.version is not None
         ]
+        scans = (
+            [record.key_range for record in txn.scans] if txn.scans else ()
+        )
         if self.streaming_checker is not None:
-            self.streaming_checker.on_commit(txn.txn_id, versions, reads)
+            self.streaming_checker.on_commit(txn.txn_id, versions, reads, scans)
         self._records[txn.txn_id] = (
-            txn.txn_type, txn.begin_time, txn.end_time, writes, reads
+            txn.txn_type, txn.begin_time, txn.end_time, writes, reads, scans
         )
         self.recorded_commits += 1
         limit = self.max_transactions
@@ -211,13 +228,14 @@ class HistoryRecorder:
             aborted_ids=set(self._aborted_ids),
             extra_committed=extra_committed,
         )
-        for txn_id, (txn_type, begin, end, writes, reads) in self._records.items():
+        for txn_id, (txn_type, begin, end, writes, reads, scans) in self._records.items():
             record = HistoryTransaction(
                 txn_id=txn_id,
                 txn_type=txn_type,
                 begin_time=begin,
                 end_time=end,
                 writes=list(writes),
+                scans=list(scans),
             )
             record.reads = [
                 (key, version.writer, version.commit_seq) for key, version in reads
@@ -235,6 +253,7 @@ def committed_history(engine):
             txn_type=txn.txn_type,
             begin_time=txn.begin_time,
             end_time=txn.end_time,
+            scans=[scan.key_range for scan in txn.scans],
         )
         for read in txn.reads:
             if read.version is None:

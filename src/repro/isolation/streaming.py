@@ -28,11 +28,21 @@ is the per-key frontier (readers of each key's latest version), not the
 whole run.  Writer id 0 (database population) is treated as an always
 committed pseudo-transaction that never appears as a graph node, matching
 the post-hoc builder.
+
+Scans add the *phantom* rw edges item-level derivation cannot see: a
+committed scan whose predicate covers a key it never read anti-depends on
+the key's first committed writer — whether that writer committed before
+the scan (the scan's snapshot missed it) or after (classic phantom).  The
+checker keeps a per-table index of committed keys for the backward
+direction and a per-table registry of committed scan predicates for the
+forward one; both grow with distinct keys / committed scans, like the
+detector's node set.
 """
 
-from bisect import bisect_right
+from bisect import bisect_right, insort
 
 from repro.isolation.cycles import IncrementalCycleDetector
+from repro.storage.ranges import slice_sorted_pks
 
 
 class StreamingDSGChecker:
@@ -52,6 +62,8 @@ class StreamingDSGChecker:
         "_committed",
         "_aborted",
         "_final",
+        "_table_pks",
+        "_scan_watch",
         "_edge_seen",
         "aborted_reads",
         "intermediate_reads",
@@ -67,6 +79,8 @@ class StreamingDSGChecker:
         self._committed = set()
         self._aborted = set()
         self._final = {}     # (key, writer) -> final commit_seq of that version
+        self._table_pks = {}   # table -> sorted pks with a committed version
+        self._scan_watch = {}  # table -> [(scanner, KeyRange, read keys), ...]
         self._edge_seen = set() if trace_edges else None
         self.aborted_reads = []
         self.intermediate_reads = []
@@ -89,11 +103,13 @@ class StreamingDSGChecker:
         if kind in self.kinds:
             self.detector.add_edge(source, target)
 
-    def on_commit(self, txn_id, versions, reads):
+    def on_commit(self, txn_id, versions, reads, scans=()):
         """Fold one committed transaction into the graph.
 
         ``versions`` are the freshly installed (committed) versions;
-        ``reads`` is a ``(key, version)`` list of the versions it observed.
+        ``reads`` is a ``(key, version)`` list of the versions it observed;
+        ``scans`` is a list of :class:`~repro.storage.ranges.KeyRange`
+        predicates (the transaction's effective scan ranges).
         """
         committed = self._committed
         writers_map, seqs_map, waiting = self._writers, self._seqs, self._waiting
@@ -141,6 +157,29 @@ class StreamingDSGChecker:
             if slot is None:
                 slot = waiting[(key, writer)] = {}
             slot[txn_id] = seq
+        if scans:
+            # Phantom rw edges, backward direction: keys already committed
+            # inside a scanned range that the scan never read — the scan
+            # observed their absence, which precedes their first committed
+            # version.  Forward direction (keys committed later) is handled
+            # by the watch registry in the versions loop below.
+            read_keys = {key for key, _version in reads}
+            table_pks = self._table_pks
+            scan_watch = self._scan_watch
+            for key_range in scans:
+                table = key_range.table
+                pks = table_pks.get(table)
+                if pks:
+                    start, stop = slice_sorted_pks(pks, key_range.lo, key_range.hi)
+                    for pk in pks[start:stop]:
+                        key = (table, pk)
+                        if key in read_keys:
+                            continue
+                        add_edge(txn_id, writers_map[key][0], "rw")
+                watchers = scan_watch.get(table)
+                if watchers is None:
+                    watchers = scan_watch[table] = []
+                watchers.append((txn_id, key_range, read_keys))
         committed.add(txn_id)
         for version in versions:
             key = version.key
@@ -149,6 +188,22 @@ class StreamingDSGChecker:
             if writers is None:
                 writers = writers_map[key] = []
                 seqs_map[key] = []
+                if isinstance(key, tuple) and len(key) == 2:
+                    # First committed version of the key: index it for later
+                    # scans, and give every earlier scan that covered (but
+                    # never read) it the phantom rw edge it is owed.
+                    table, pk = key
+                    pks = self._table_pks.get(table)
+                    if pks is None:
+                        pks = self._table_pks[table] = []
+                    insort(pks, pk)
+                    watchers = self._scan_watch.get(table)
+                    if watchers:
+                        for scanner_id, key_range, read_keys in watchers:
+                            if scanner_id == txn_id or key in read_keys:
+                                continue
+                            if key_range.contains_pk(pk):
+                                add_edge(scanner_id, txn_id, "rw")
             previous = writers[-1] if writers else 0
             writers.append(txn_id)
             seqs_map[key].append(seq)

@@ -19,12 +19,19 @@ Hot-path lookups are index-backed rather than scan-based:
   :meth:`version_by_writer` never scans;
 * all of that per-key state lives on one :class:`_Chain` object, so the
   common lookups cost a single dict probe.
+
+The store also maintains a per-table ordered key index so that range scans
+(:meth:`range_keys`) are a bisect plus a slice instead of a full key sweep.
+The index covers committed *and* uncommitted keys: a scan must enumerate an
+in-flight insert so the per-key CC hooks (locks, snapshot visibility) can
+decide what the scanning transaction observes.
 """
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left, bisect_right, insort
 from itertools import count
 
 from repro.errors import StorageError
+from repro.storage.ranges import slice_sorted_pks
 from repro.storage.versions import Version
 
 
@@ -75,6 +82,56 @@ class MultiVersionStore:
         self._writes_by_txn = {}
         self._commit_seq = count(1)
         self._last_commit_seq = 0
+        # table -> (sorted pk list, pk membership set): the ordered key
+        # index behind range scans.  Keys enter on first load/install and
+        # leave only when an aborted insert leaves no version behind.
+        self._table_index = {}
+
+    # -- ordered key index ---------------------------------------------------
+
+    def _index_key(self, key):
+        if not isinstance(key, tuple) or len(key) != 2:
+            return
+        table, pk = key
+        entry = self._table_index.get(table)
+        if entry is None:
+            entry = self._table_index[table] = ([], set())
+        pks, members = entry
+        if pk not in members:
+            members.add(pk)
+            insort(pks, pk)
+
+    def _unindex_dead_key(self, key):
+        """Drop an index entry whose key has no versions left (aborted insert)."""
+        if key in self._committed or key in self._uncommitted:
+            return
+        if not isinstance(key, tuple) or len(key) != 2:
+            return
+        table, pk = key
+        entry = self._table_index.get(table)
+        if entry is None:
+            return
+        pks, members = entry
+        if pk in members:
+            members.discard(pk)
+            index = bisect_left(pks, pk)
+            if index < len(pks) and pks[index] == pk:
+                del pks[index]
+
+    def range_keys(self, table, lo=None, hi=None):
+        """Storage keys of ``table`` with ``lo <= pk <= hi``, in key order.
+
+        Includes keys whose only versions are uncommitted (in-flight
+        inserts): scans must surface them so CC hooks can block on or
+        snapshot-hide them.  Returns a fresh list — safe to iterate while
+        the store mutates underneath (the scan itself may block per key).
+        """
+        entry = self._table_index.get(table)
+        if entry is None:
+            return []
+        pks, _members = entry
+        start, stop = slice_sorted_pks(pks, lo, hi)
+        return [(table, pk) for pk in pks[start:stop]]
 
     # -- committed-chain bookkeeping ----------------------------------------
 
@@ -96,6 +153,7 @@ class MultiVersionStore:
         version.mark_committed(next(self._commit_seq), timestamp=0.0)
         self._last_commit_seq = version.commit_seq
         self._append_committed(key, version)
+        self._index_key(key)
         return version
 
     def keys(self):
@@ -193,6 +251,10 @@ class MultiVersionStore:
         per_key = self._uncommitted.get(key)
         if per_key is None:
             per_key = self._uncommitted[key] = {}
+            if key not in self._committed:
+                # A brand-new key: make it scannable immediately so range
+                # reads enumerate the in-flight insert (and block on it).
+                self._index_key(key)
         else:
             own = per_key.get(txn_id)
             if own is not None:
@@ -260,6 +322,7 @@ class MultiVersionStore:
                 per_key.pop(version.writer, None)
                 if not per_key:
                     del self._uncommitted[version.key]
+                    self._unindex_dead_key(version.key)
         return len(versions)
 
     def writes_of(self, txn_id):
@@ -317,5 +380,6 @@ class MultiVersionStore:
         self._committed.clear()
         self._uncommitted.clear()
         self._writes_by_txn.clear()
+        self._table_index.clear()
         self._commit_seq = count(1)
         self._last_commit_seq = 0

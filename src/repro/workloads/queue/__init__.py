@@ -1,0 +1,5 @@
+"""The queue/outbox workload: ordered-scan contention on a message queue."""
+
+from repro.workloads.queue.workload import QUEUE_MIX, QueueWorkload
+
+__all__ = ["QUEUE_MIX", "QueueWorkload"]

@@ -119,6 +119,27 @@ def payment(ctx, w_id, d_id, c_w_id, c_d_id, c_id, h_amount):
     return {"customer": customer}
 
 
+def payment_by_name(ctx, w_id, d_id, c_w_id, c_d_id, c_last, h_amount):
+    """Payment addressed by customer last name (TPC-C clause 2.5.2.2).
+
+    The customer is located with a prefix scan over the
+    ``customer_name_idx`` secondary index; per the specification the
+    midpoint customer (position ``ceil(n/2)``) of the name's ordered
+    candidate set receives the payment.  A name with no customers is a
+    no-op (the spec resubmits with a different name; the closed-loop
+    harness just draws a new transaction).
+    """
+    matches = yield from ctx.scan(
+        "customer_name_idx", prefix=(c_w_id, c_d_id, c_last)
+    )
+    if not matches:
+        return {"customer": None, "matched": 0}
+    c_ids = sorted(pk[3] for pk, _row in matches)
+    c_id = c_ids[(len(c_ids) - 1) // 2]
+    result = yield from payment(ctx, w_id, d_id, c_w_id, c_d_id, c_id, h_amount)
+    return {"customer": result["customer"], "matched": len(c_ids), "c_id": c_id}
+
+
 def delivery(ctx, w_id, carrier_id, districts):
     """Deliver the oldest undelivered order of each district.
 
@@ -255,6 +276,17 @@ PROFILES = {
         ),
         description="record a payment (heavy warehouse/district contention)",
     ),
+    "payment_by_name": TransactionProfile(
+        name="payment_by_name",
+        accesses=(
+            ("customer_name_idx", "r"),
+            ("warehouse", "w"),
+            ("district", "w"),
+            ("customer", "w"),
+            ("history", "w"),
+        ),
+        description="record a payment located by a customer-last-name scan",
+    ),
     "delivery": TransactionProfile(
         name="delivery",
         accesses=(
@@ -306,6 +338,7 @@ PROFILES = {
 PROCEDURES = {
     "new_order": new_order,
     "payment": payment,
+    "payment_by_name": payment_by_name,
     "delivery": delivery,
     "order_status": order_status,
     "stock_level": stock_level,

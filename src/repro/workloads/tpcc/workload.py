@@ -6,7 +6,7 @@ from functools import partial
 from repro.analysis.profiles import TransactionType
 from repro.workloads.base import Workload
 from repro.workloads.tpcc import transactions as procs
-from repro.workloads.tpcc.schema import TPCCScale, build_catalog
+from repro.workloads.tpcc.schema import TPCCScale, build_catalog, customer_last_name
 
 
 #: The contention-heavy closed-loop mix used throughout the evaluation.
@@ -28,6 +28,18 @@ TPCC_HOT_ITEM_MIX = {
     "hot_item": 0.041,
 }
 
+#: Mix with the by-name payment variant: TPC-C addresses 60% of payments by
+#: customer last name (clause 2.5.1.2), so the standard payment share is
+#: split 60/40 between the scan-based and the by-id variant.
+TPCC_PAYMENT_BY_NAME_MIX = {
+    "new_order": 0.45,
+    "payment": 0.172,
+    "payment_by_name": 0.258,
+    "delivery": 0.04,
+    "order_status": 0.04,
+    "stock_level": 0.04,
+}
+
 
 class TPCCWorkload(Workload):
     """TPC-C adapted to the key-value interface (Section 4.6.1)."""
@@ -40,6 +52,7 @@ class TPCCWorkload(Workload):
         scale=None,
         seed=42,
         include_hot_item=False,
+        include_payment_by_name=False,
         deadlock_prone_new_order=False,
         disjoint_warehouses=False,
         remote_item_probability=0.01,
@@ -47,6 +60,7 @@ class TPCCWorkload(Workload):
         self.scale = scale or TPCCScale(warehouses=warehouses)
         self.seed = seed
         self.include_hot_item = include_hot_item
+        self.include_payment_by_name = include_payment_by_name
         self.deadlock_prone_new_order = deadlock_prone_new_order
         self.disjoint_warehouses = disjoint_warehouses
         self.remote_item_probability = remote_item_probability
@@ -58,6 +72,8 @@ class TPCCWorkload(Workload):
 
     def build_transaction_types(self):
         names = ["new_order", "payment", "delivery", "order_status", "stock_level"]
+        if self.include_payment_by_name:
+            names.insert(2, "payment_by_name")
         if self.include_hot_item:
             names.append("hot_item")
         types = {}
@@ -69,13 +85,15 @@ class TPCCWorkload(Workload):
                 name=name,
                 procedure=procedure,
                 profile=procs.PROFILES[name],
-                weight=TPCC_STANDARD_MIX.get(name, 0.04),
+                weight=self.mix().get(name, 0.04),
             )
         return types
 
     def mix(self):
         if self.include_hot_item:
             return dict(TPCC_HOT_ITEM_MIX)
+        if self.include_payment_by_name:
+            return dict(TPCC_PAYMENT_BY_NAME_MIX)
         return dict(TPCC_STANDARD_MIX)
 
     # -- argument generation ------------------------------------------------------
@@ -121,6 +139,22 @@ class TPCCWorkload(Workload):
                 "c_w_id": c_w_id,
                 "c_d_id": c_d_id,
                 "c_id": rng.randint(1, scale.customers_per_district),
+                "h_amount": round(rng.uniform(1.0, 5000.0), 2),
+            }
+        if txn_type == "payment_by_name":
+            c_w_id, c_d_id = w_id, d_id
+            if scale.warehouses > 1 and rng.random() < 0.15:
+                c_w_id = rng.randint(1, scale.warehouses)
+                c_d_id = rng.randint(1, scale.districts_per_warehouse)
+            # Drawing the name through a random loaded customer id matches
+            # the loaded name distribution, so scans rarely come up empty.
+            c_last = customer_last_name(rng.randint(1, scale.customers_per_district))
+            return {
+                "w_id": w_id,
+                "d_id": d_id,
+                "c_w_id": c_w_id,
+                "c_d_id": c_d_id,
+                "c_last": c_last,
                 "h_amount": round(rng.uniform(1.0, 5000.0), 2),
             }
         if txn_type == "delivery":

@@ -11,14 +11,51 @@ operation mix:
 
 All five transaction types are always registered (so one CC tree covers all
 profiles); the profile only changes the mix that closed-loop clients draw
-from.  Skew uses YCSB's *hotspot* distribution: with probability
-``hot_op_fraction`` the key is drawn from the first
-``hot_set_fraction * records`` keys.
+from.  Two skew models are available: YCSB's *hotspot* distribution (with
+probability ``hot_op_fraction`` the key is drawn from the first
+``hot_set_fraction * records`` keys) and the classic *zipfian* generator of
+Gray et al. with configurable ``zipf_theta`` — the heavier-tailed
+distribution the original benchmark defaults to, registered in the harness
+at a larger keyspace as ``ycsb-zipf``.
 """
 
 from repro.analysis.profiles import TransactionProfile, TransactionType
 from repro.storage.tables import Catalog, Table, TableSchema
 from repro.workloads.base import Workload
+
+
+class ZipfianGenerator:
+    """Zipfian-distributed integers in ``[0, n)`` (Gray et al., SIGMOD '94).
+
+    The standard YCSB generator: item ranks follow a power law with
+    exponent ``theta`` (0 < theta < 1; YCSB's default is 0.99).  The
+    ``zeta`` constants are precomputed once per (n, theta) — O(n) at
+    construction, O(1) per draw — and draws are a pure function of the
+    caller's RNG, so fixed-seed runs stay deterministic.
+    """
+
+    def __init__(self, n, theta=0.99):
+        if not 0.0 < theta < 1.0:
+            raise ValueError(f"zipfian theta must be in (0, 1), got {theta}")
+        if n < 1:
+            raise ValueError("zipfian range must contain at least one item")
+        self.n = n
+        self.theta = theta
+        self.zeta2 = sum(1.0 / i ** theta for i in range(1, 3))
+        self.zetan = sum(1.0 / i ** theta for i in range(1, n + 1))
+        self.alpha = 1.0 / (1.0 - theta)
+        self.eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (
+            1.0 - self.zeta2 / self.zetan
+        )
+
+    def draw(self, rng):
+        u = rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * (self.eta * u - self.eta + 1.0) ** self.alpha)
 
 
 YCSB_PROFILES = {
@@ -38,10 +75,16 @@ class YCSBWorkload(Workload):
 
     def __init__(self, records=1000, profile="a", max_scan_length=10,
                  hot_op_fraction=0.5, hot_set_fraction=0.05,
-                 insert_space=10_000, seed=31):
+                 insert_space=10_000, seed=31,
+                 distribution="hotspot", zipf_theta=0.99):
         if profile not in YCSB_PROFILES:
             raise ValueError(
                 f"unknown YCSB profile {profile!r}; choose one of {sorted(YCSB_PROFILES)}"
+            )
+        if distribution not in ("hotspot", "zipfian"):
+            raise ValueError(
+                f"unknown YCSB distribution {distribution!r}; "
+                "choose 'hotspot' or 'zipfian'"
             )
         self.records = records
         self.profile = profile
@@ -50,6 +93,13 @@ class YCSBWorkload(Workload):
         self.hot_set_fraction = hot_set_fraction
         self.insert_space = insert_space
         self.seed = seed
+        self.distribution = distribution
+        self.zipf_theta = zipf_theta
+        self._zipf = (
+            ZipfianGenerator(records, zipf_theta)
+            if distribution == "zipfian"
+            else None
+        )
 
     # -- schema -------------------------------------------------------------------
 
@@ -77,12 +127,11 @@ class YCSBWorkload(Workload):
         return {"inserted": key}
 
     def _scan_records(self, ctx, start, count):
-        rows = []
-        for key in range(start, start + count):
-            row = yield from ctx.read("usertable", key)
-            if row is not None:
-                rows.append(row)
-        return {"rows": rows}
+        # A first-class range scan: CC mechanisms see the predicate (range
+        # locks / snapshot range read sets) instead of a loop of point reads
+        # blind to keys inserted into the scanned window.
+        matches = yield from ctx.scan("usertable", lo=start, hi=start + count - 1)
+        return {"rows": [row for _key, row in matches]}
 
     def _read_modify_write(self, ctx, key, delta):
         row = yield from ctx.read("usertable", key, for_update=True)
@@ -142,6 +191,8 @@ class YCSBWorkload(Workload):
     # -- argument generation -----------------------------------------------------------
 
     def _key(self, rng):
+        if self._zipf is not None:
+            return self._zipf.draw(rng)
         if rng.random() < self.hot_op_fraction:
             hot = max(int(self.records * self.hot_set_fraction), 1)
             return rng.randrange(hot)

@@ -6,7 +6,9 @@ import pytest
 from hypothesis import Phase, settings
 
 # Hypothesis profiles: "fast" keeps the default tier-1 run snappy (no
-# shrinking phase), "ci" digs deeper.  Select with HYPOTHESIS_PROFILE=ci.
+# shrinking phase), "ci" digs deeper, "ci-fast" is the CI fast lane's
+# deterministic budget (fixed derivation instead of random seeding, fewer
+# examples).  Select with HYPOTHESIS_PROFILE=ci / ci-fast.
 settings.register_profile(
     "fast",
     max_examples=25,
@@ -14,6 +16,13 @@ settings.register_profile(
     phases=[Phase.explicit, Phase.reuse, Phase.generate],
 )
 settings.register_profile("ci", max_examples=200, deadline=None)
+settings.register_profile(
+    "ci-fast",
+    max_examples=15,
+    deadline=None,
+    derandomize=True,
+    phases=[Phase.explicit, Phase.reuse, Phase.generate],
+)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))
 
 from repro.core.config import Configuration, leaf, monolithic, node

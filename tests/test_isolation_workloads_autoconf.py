@@ -17,6 +17,7 @@ from repro.isolation.checker import check_history
 from repro.isolation.dsg import build_dsg
 from repro.isolation.history import History, HistoryRecorder, HistoryTransaction
 from repro.workloads.micro import CrossGroupConflictWorkload
+from repro.workloads.queue import QueueWorkload
 from repro.workloads.seats import SEATSWorkload
 from repro.workloads.smallbank import SmallBankWorkload
 from repro.workloads.tpcc import TPCCWorkload
@@ -472,12 +473,18 @@ class TestHarness:
             for factory in configurations.values():
                 assert factory().transaction_types
 
-    def test_registry_covers_all_five_workloads(self):
+    def test_registry_covers_all_workloads(self):
         assert set(configs.WORKLOAD_CONFIGURATIONS) == {
-            "tpcc", "seats", "micro", "smallbank", "ycsb"
+            "tpcc", "tpcc-scan", "seats", "micro", "smallbank",
+            "ycsb", "ycsb-zipf", "queue",
         }
         for configurations in configs.WORKLOAD_CONFIGURATIONS.values():
             assert len(configurations) >= 3
+        # The zipfian preset shares the YCSB trees (same transaction types).
+        assert (
+            configs.WORKLOAD_CONFIGURATIONS["ycsb-zipf"]
+            is configs.WORKLOAD_CONFIGURATIONS["ycsb"]
+        )
 
     # -- empty-input edge cases (sweep.py / report.py) -----------------------
 
@@ -505,12 +512,16 @@ class TestHarness:
         assert "1" in text and "2" in text
 
 
+@pytest.mark.slow
 class TestCheckedWorkloadRuns:
     """Fixed-seed checked runs: the isolation oracle gates every workload.
 
-    Each of the five workloads runs under at least three hierarchical CC
+    Each registered workload runs under at least three hierarchical CC
     configurations with a deterministic seed; the run fails if the recorded
-    history has an aborted read, an intermediate read or a DSG cycle.
+    history has an aborted read, an intermediate read or a DSG cycle.  The
+    scan-bearing workloads (tpcc-scan, queue, scan-heavy ycsb) hold range
+    access to the same standard: the oracle derives phantom
+    anti-dependencies from the recorded scan predicates.
     """
 
     SCENARIOS = {
@@ -521,6 +532,15 @@ class TestCheckedWorkloadRuns:
                                 initial_orders_per_district=10)
             ),
             ("2pl", "tebaldi-2layer", "tebaldi-3layer"),
+        ),
+        "tpcc-scan": (
+            lambda: TPCCWorkload(
+                scale=TPCCScale(warehouses=1, districts_per_warehouse=4,
+                                customers_per_district=30, items=100,
+                                initial_orders_per_district=10),
+                include_payment_by_name=True,
+            ),
+            ("2pl", "ssi", "2layer", "3layer"),
         ),
         "seats": (
             lambda: SEATSWorkload(flights=4, seats_per_flight=100, customers=50),
@@ -537,6 +557,15 @@ class TestCheckedWorkloadRuns:
         "ycsb": (
             lambda: YCSBWorkload(records=200, profile="a"),
             ("ssi", "2layer", "3layer"),
+        ),
+        "ycsb-zipf": (
+            lambda: YCSBWorkload(records=400, profile="a",
+                                 distribution="zipfian", zipf_theta=0.9),
+            ("ssi", "2layer", "3layer"),
+        ),
+        "queue": (
+            lambda: QueueWorkload(initial_messages=4, window=6),
+            ("2pl", "ssi", "2layer", "3layer"),
         ),
     }
 
@@ -624,6 +653,61 @@ class TestHarnessCLI:
 
         with pytest.raises(SystemExit):
             main(["--workload", "micro", "--config", "nope"])
+
+    # -- argument edge cases: clean parser errors, never tracebacks ----------
+
+    def test_cli_rejects_unknown_workload(self, capsys):
+        from repro.harness.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--workload", "no-such-workload"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_cli_rejects_non_positive_workers(self, capsys):
+        from repro.harness.cli import main
+
+        for workers in ("0", "-3"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["--workload", "micro", "--workers", workers])
+            assert excinfo.value.code == 2
+            assert "--workers" in capsys.readouterr().err
+
+    def test_cli_rejects_non_positive_clients(self, capsys):
+        from repro.harness.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--workload", "micro", "--clients", "0", "8"])
+        assert excinfo.value.code == 2
+        assert "--clients" in capsys.readouterr().err
+
+    def test_cli_rejects_bad_durations(self, capsys):
+        from repro.harness.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--workload", "micro", "--duration", "0"])
+        assert excinfo.value.code == 2
+        assert "--duration" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--workload", "micro", "--warmup", "-1"])
+        assert excinfo.value.code == 2
+        assert "--warmup" in capsys.readouterr().err
+
+    def test_cli_all_rejects_workload_filter(self, capsys):
+        from repro.harness.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--all", "--workload", "micro"])
+        assert excinfo.value.code == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_cli_registry_lists_new_workloads(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("tpcc-scan", "queue", "ycsb-zipf"):
+            assert name in out
 
 
 class TestProfilerAnalysis:

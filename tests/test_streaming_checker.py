@@ -25,7 +25,9 @@ from repro.isolation.dsg import build_dsg
 from repro.isolation.history import History, HistoryRecorder, HistoryTransaction
 from repro.isolation.levels import LEVEL_EDGE_KINDS
 from repro.isolation.streaming import StreamingDSGChecker
+from repro.storage.ranges import bounded_range
 from repro.workloads.micro import CrossGroupConflictWorkload
+from repro.workloads.queue import QueueWorkload
 from repro.workloads.smallbank import SmallBankWorkload
 
 
@@ -146,6 +148,9 @@ def replay_history(history, level="serializable"):
                 begin_time=txn.begin_time,
                 end_time=txn.end_time,
                 reads=reads,
+                scans=[
+                    SimpleNamespace(key_range=key_range) for key_range in txn.scans
+                ],
             ),
             versions,
         )
@@ -200,6 +205,41 @@ ADVERSARIAL_HISTORIES = {
         [HistoryTransaction(1, "r", reads=[("x", 99, None)])],
         {"x": []},
         {99},
+    ),
+    "phantom-scan-skew": (
+        # G2 via a predicate: T1 scanned items[1..10] (saw nothing) and
+        # wrote the result row; T2 inserted items.5 and read the result row
+        # before T1's write.  T1 -rw-> T2 exists only through the scan.
+        [
+            HistoryTransaction(
+                1, "scanner",
+                writes=[(("result", "a"), 3)],
+                scans=[bounded_range("items", 1, 10)],
+            ),
+            HistoryTransaction(
+                2, "inserter",
+                reads=[(("result", "a"), 0, 1)],
+                writes=[(("items", 5), 2)],
+            ),
+        ],
+        {("result", "a"): [(1, 0), (3, 1)], ("items", 5): [(2, 2)]},
+        (),
+    ),
+    "phantom-observed-key-is-clean": (
+        # Same shape, but the scan *read* the inserted key (it committed
+        # first): the rw edge belongs to item-level derivation and no
+        # phantom edge may be added — the history is serializable.
+        [
+            HistoryTransaction(
+                1, "scanner",
+                reads=[(("items", 5), 2, 2)],
+                writes=[(("result", "a"), 3)],
+                scans=[bounded_range("items", 1, 10)],
+            ),
+            HistoryTransaction(2, "inserter", writes=[(("items", 5), 2)]),
+        ],
+        {("result", "a"): [(1, 0), (3, 1)], ("items", 5): [(2, 2)]},
+        (),
     ),
     "serializable-chain": (
         [
@@ -258,6 +298,10 @@ class TestStreamingCheckedRuns:
             (lambda: CrossGroupConflictWorkload(shared_rows=5, cold_rows=50), "2pl"),
             (lambda: CrossGroupConflictWorkload(shared_rows=5, cold_rows=50), "ssi"),
             (lambda: SmallBankWorkload(customers=50, hot_accounts=5), "ssi"),
+            # Scan-bearing runs: phantom edge derivation must agree between
+            # the streaming checker and the post-hoc builder end-to-end.
+            (lambda: QueueWorkload(initial_messages=4, window=6), "2pl"),
+            (lambda: QueueWorkload(initial_messages=4, window=6), "ssi"),
         ],
     )
     def test_streaming_verdict_matches_posthoc(self, workload_factory, config_cc):
