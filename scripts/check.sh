@@ -14,7 +14,9 @@
 # smoke gates micro and SmallBank runs under two CC trees each on the Adya
 # isolation oracle (python -m repro.harness --quick); its independent
 # cells fan out across --workers processes (WORKERS env var overrides;
-# results are identical whatever the worker count).
+# results are identical whatever the worker count).  The crash-recovery
+# smoke additionally crashes the queue cells at a seeded fault point and
+# checks the stitched pre-crash + post-recovery history as one.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,6 +46,10 @@ echo "== checked-run smoke (isolation oracle) =="
 WORKERS="${WORKERS:-$(python -c 'import os; print(os.cpu_count() or 1)')}"
 python -m repro.harness --workload micro --config 2pl --config 2layer --quick --workers "$WORKERS"
 python -m repro.harness --workload smallbank --config ssi --config 3layer --quick --workers "$WORKERS"
+
+echo
+echo "== crash-recovery smoke (cross-crash oracle) =="
+python -m repro.harness --workload queue --config 2layer --config 3layer --faults 1 --quick --workers "$WORKERS"
 
 echo
 echo "== examples smoke =="

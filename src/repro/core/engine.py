@@ -73,6 +73,8 @@ class TebaldiEngine:
         options=None,
         profiler=None,
         cluster=None,
+        durability=None,
+        txn_id_start=1,
     ):
         if not isinstance(configuration, Configuration):
             raise ConfigurationError("configuration must be a Configuration instance")
@@ -87,13 +89,20 @@ class TebaldiEngine:
         self.profiler = profiler
         self.stats = StatsCollector(env)
         self.gc = GarbageCollector(self.store, epoch_length=self.options.gc_epoch_length)
-        self.durability = DurabilityManager(self.options.durability)
+        # The crash harness injects a shared manager that survives engine
+        # rebuilds across simulated crashes; ``txn_id_start`` likewise keeps
+        # transaction ids unique across incarnations.
+        self.durability = (
+            durability
+            if durability is not None
+            else DurabilityManager(self.options.durability)
+        )
         # Static for the engine's lifetime; cached off the property chain.
         self._durable = self.durability.enabled
         self.commit_condition = Condition(env, name="commit")
         self.admission_condition = Condition(env, name="admission")
 
-        self._txn_ids = count(1)
+        self._txn_ids = count(txn_id_start)
         self.active = {}
         self.finished = {}
         self._finished_order = deque()
@@ -266,9 +275,25 @@ class TebaldiEngine:
             step = pre_commit_hook(txn)
             if step is not None:
                 yield from step
+        if self._durable:
+            # Durable precommit and epoch propagation run *before* the
+            # versions become visible: any transaction that reads this one
+            # therefore precommits in the same or a later GCP epoch, so a
+            # durable reader can never survive recovery while its writer
+            # vanishes (cross-crash recoverability of the DSG).
+            self._durable_precommit(txn)
+            if self.durability.halted:
+                # An injected crash fired inside the precommit: the machine
+                # is down and this commit never becomes visible.  Park the
+                # process on an event that never triggers — if the full
+                # precommit set made it to disk first, recovery resurrects
+                # the transaction as a *ghost* (durable, unacknowledged).
+                yield Event(self.env, "crashed")
         self._commit(txn)
         if self._durable:
-            yield from self._durable_commit(txn)
+            delay = self.durability.flush_delay()
+            if delay:
+                yield self.env.timeout(delay)
         for finish_hook in charges.finish_hooks:
             finish_hook(txn, committed=True)
         self.commit_condition.notify_all()
@@ -290,13 +315,10 @@ class TebaldiEngine:
         self.gc.finish_transaction(txn)
         return versions
 
-    def _durable_commit(self, txn):
+    def _durable_precommit(self, txn):
         writes = [(key, txn.writes[key]) for key in txn.write_order]
         global_epoch = self.durability.precommit(txn, writes)
         txn.global_gcp_epoch = global_epoch
-        delay = self.durability.flush_delay()
-        if delay:
-            yield self.env.timeout(delay)
         self.durability.commit_notification(txn, global_epoch)
 
     def _finish_abort(self, txn, reason):

@@ -19,12 +19,15 @@ Examples::
     python -m repro.harness --workload tpcc --config tebaldi-3layer --clients 10 20 40
     python -m repro.harness --workload ycsb --ycsb-profile e --quick
     python -m repro.harness --all --quick --workers 4
+    python -m repro.harness --workload queue --faults 1 --quick
+    python -m repro.harness --all --faults 2 --quick
 """
 
 import argparse
 import sys
 
-from repro.harness.configs import WORKLOAD_CONFIGURATIONS
+from repro.harness.configs import CRASH_CELLS, WORKLOAD_CONFIGURATIONS
+from repro.harness.crash import run_crash_benchmark
 from repro.harness.parallel import available_workers, derive_point_seed, run_tasks
 from repro.harness.report import format_run_results
 from repro.harness.runner import run_benchmark
@@ -119,11 +122,102 @@ def build_parser():
         help="YCSB operation mix (read/update, read-heavy, scan-heavy)",
     )
     parser.add_argument(
+        "--faults", type=int, default=0, metavar="N",
+        help=(
+            "crash-enabled mode: inject N seeded crashes per cell (durability "
+            "on, WAL recovery between incarnations, oracle spanning the "
+            "crash); restricted to the crash-enabled registry"
+        ),
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="tiny smoke run (8 clients, 0.3s measured, 0.1s warmup)",
     )
     parser.add_argument("--list", action="store_true", help="print the registry and exit")
     return parser
+
+
+def _make_crash_cell_task(args, workload_name, config_name, clients, duration):
+    def cell():
+        workload = build_workload(workload_name, ycsb_profile=args.ycsb_profile)
+        configuration = WORKLOAD_CONFIGURATIONS[workload_name][config_name]()
+        seed = derive_point_seed(args.seed, workload_name, config_name, clients)
+        result = run_crash_benchmark(
+            workload,
+            configuration,
+            clients=clients,
+            duration=duration,
+            seed=seed,
+            crashes=args.faults,
+            isolation_level=args.level,
+            history_window=args.history_window,
+            raise_on_violation=False,
+        )
+        # The recorder is process-local diagnostics; don't ship it back
+        # through the worker-pool pickle.
+        result.extra.pop("recorder", None)
+        return result
+    return cell
+
+
+def _run_crash_cells(args, parser):
+    """Crash-enabled mode: sweep the crash registry with seeded faults."""
+    workload_names = sorted(CRASH_CELLS) if args.all else [args.workload]
+    cells = []
+    for workload_name in workload_names:
+        registered = CRASH_CELLS[workload_name]
+        configurations = WORKLOAD_CONFIGURATIONS[workload_name]
+        config_names = (args.config if not args.all else None) or list(registered)
+        unknown = [name for name in config_names if name not in configurations]
+        if unknown:
+            parser.error(
+                f"unknown configuration(s) {unknown} for {workload_name}; "
+                f"available: {sorted(configurations)}"
+            )
+        for config_name in config_names:
+            for clients in args.clients if not args.quick else [8]:
+                cells.append((workload_name, config_name, clients))
+    duration = 0.5 if args.quick else args.duration
+    workers = args.workers if args.workers is not None else available_workers()
+    tasks = [
+        _make_crash_cell_task(args, workload_name, config_name, clients, duration)
+        for workload_name, config_name, clients in cells
+    ]
+    results = run_tasks(tasks, workers=workers)
+
+    violations = []
+    for (workload_name, config_name, clients), result in zip(cells, results):
+        report = result.extra["isolation"]
+        crash_bits = "; ".join(crash.describe() for crash in result.crashes)
+        duplicate_dequeues = result.extra.get("exactly_once_violations") or {}
+        if report.ok and not duplicate_dequeues:
+            status = f"isolation OK across {len(result.crashes)} crash(es)"
+        else:
+            status = "ISOLATION VIOLATION: " + report.describe()
+            if duplicate_dequeues:
+                status += f"; {len(duplicate_dequeues)} message(s) dequeued twice"
+            violations.append((workload_name, config_name, clients, status))
+        print(
+            f"{workload_name}/{config_name} clients={clients}: "
+            f"{result.commits} commits over {result.incarnations} incarnation(s) "
+            f"— {status}"
+        )
+        if crash_bits:
+            print(f"    {crash_bits}")
+
+    if violations:
+        print(f"\n{len(violations)} crash-cell violation(s):", file=sys.stderr)
+        for workload_name, config_name, clients, status in violations:
+            print(
+                f"  {workload_name}/{config_name} clients={clients}: {status}",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"\nall {len(results)} crash-enabled checked runs passed the "
+        f"cross-crash oracle at level={args.level!r}"
+    )
+    return 0
 
 
 def _make_cell_task(args, workload_name, config_name, clients, duration, warmup, check):
@@ -168,6 +262,17 @@ def main(argv=None):
         parser.error(f"--duration must be positive, got {args.duration}")
     if args.warmup < 0:
         parser.error(f"--warmup must be non-negative, got {args.warmup}")
+    if args.faults < 0:
+        parser.error(f"--faults must be a non-negative integer, got {args.faults}")
+    if args.faults:
+        if args.no_check:
+            parser.error("--faults needs the oracle in the loop; drop --no-check")
+        if args.workload is not None and args.workload not in CRASH_CELLS:
+            parser.error(
+                f"--faults is registered for {sorted(CRASH_CELLS)}; "
+                f"got --workload {args.workload}"
+            )
+        return _run_crash_cells(args, parser)
 
     workload_names = sorted(WORKLOAD_CONFIGURATIONS) if args.all else [args.workload]
     cells = []

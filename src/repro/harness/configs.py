@@ -577,3 +577,14 @@ WORKLOAD_CONFIGURATIONS = {
     "ycsb-zipf": YCSB_CONFIGURATIONS,
     "queue": QUEUE_CONFIGURATIONS,
 }
+
+#: workload name -> configuration names registered for crash-enabled checked
+#: runs (``python -m repro.harness --faults N`` and the crash-recovery test
+#: suite).  The queue/outbox workload is the flagship — exactly-once dequeue
+#: must hold across a crash — with smallbank as the point-access contrast;
+#: both sweep the monolithic trees and the hierarchical 2/3-layer trees so
+#: recovery is exercised under every CC family the paper composes.
+CRASH_CELLS = {
+    "queue": ("2pl", "ssi", "2layer", "3layer"),
+    "smallbank": ("2pl", "ssi", "2layer", "3layer"),
+}

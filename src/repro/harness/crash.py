@@ -1,0 +1,353 @@
+"""Crash/recovery harness: run a workload, crash it, recover it, and check
+the *stitched* pre-crash + post-recovery history as one.
+
+The run proceeds in incarnations.  Each incarnation builds a fresh
+environment and engine over the shared :class:`DurabilityManager` (whose
+persistent backends survive crashes) and drives closed-loop clients until
+either the measurement horizon or the armed crash event fires.  On a crash
+the harness:
+
+1. snapshots what the dying incarnation believed (committed ids, commit
+   sequences, in-flight count), then drops the volatile durability state
+   (:meth:`DurabilityManager.crash`) and replays the persistent logs
+   (:meth:`DurabilityManager.recover`);
+2. classifies every transaction: *survivors* were durable, *vanished* ones
+   committed in memory but were not durable (recovery discarded them),
+   *ghosts* were durable but never acknowledged (crash between precommit
+   and commit);
+3. rebuilds the store — initial population re-loaded, then every surviving
+   write restored with its **original** commit sequence (the recorder's
+   never-evicted version orders are the authority), ghosts with fresh
+   sequences — and fast-forwards the sequence counter past everything
+   pre-crash, so every cross-crash dependency edge points forward;
+4. stitches the history: the recorder purges vanished transactions
+   (:meth:`HistoryRecorder.on_crash` — they must leave *no trace*) and
+   registers ghost survivors (:meth:`HistoryRecorder.on_recovered`);
+5. checkpoints the recovery into the durable logs (so discarded epochs can
+   never resurrect at a later crash) and resumes the workload in a new
+   incarnation with continued transaction ids.
+
+One recorder spans every incarnation, so the final
+:func:`~repro.isolation.checker.check_recorder` verdict covers the whole
+run — the combined DSG must stay anomaly-free, committed-and-durable
+transactions' writes must survive, vanished ones must leave no trace.
+
+Everything is derived from the run seed (fault schedule, per-incarnation
+client RNGs, server partitioning), so a failing run reproduces
+byte-identically.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import EngineOptions, TebaldiEngine
+from repro.errors import TransactionAborted
+from repro.harness.parallel import derive_point_seed
+from repro.isolation.checker import check_recorder
+from repro.isolation.history import HistoryRecorder
+from repro.sim.environment import Environment
+from repro.sim.events import any_of
+from repro.sim.faults import FaultInjector, FaultPlan
+from repro.storage.durability import DurabilityConfig, DurabilityManager
+from repro.storage.mvstore import MultiVersionStore
+
+
+def default_crash_durability(asynchronous=True):
+    """Durability settings used by crash-enabled cells: short GCP epochs so
+    epoch-boundary crash sites are reachable in sub-second runs."""
+    return DurabilityConfig(
+        enabled=True,
+        asynchronous=asynchronous,
+        gcp_epoch_length=0.01,
+        num_servers=4,
+    )
+
+
+@dataclass
+class CrashReport:
+    """What one simulated crash did to the run."""
+
+    time: float
+    site: str
+    occurrence: int
+    committed_before: int
+    in_flight: int
+    vanished: tuple
+    recovered: tuple
+    ghosts: tuple
+
+    def describe(self):
+        return (
+            f"crash@{self.time:.4f}s at {self.site}#{self.occurrence}: "
+            f"{len(self.recovered)} recovered, {len(self.vanished)} vanished, "
+            f"{len(self.ghosts)} ghost(s), {self.in_flight} in flight"
+        )
+
+
+@dataclass
+class CrashRunResult:
+    """Outcome of one crash-enabled checked run."""
+
+    configuration: str
+    clients: int
+    duration: float
+    commits: int
+    aborts: int
+    throughput: float
+    crashes: list = field(default_factory=list)
+    incarnations: int = 1
+    extra: dict = field(default_factory=dict)
+
+    def __repr__(self):
+        return (
+            f"<CrashRunResult {self.configuration} clients={self.clients} "
+            f"commits={self.commits} crashes={len(self.crashes)}>"
+        )
+
+
+def exactly_once_violations(history, txn_type="dequeue", table="messages"):
+    """Keys of ``table`` consumed by more than one committed ``txn_type``.
+
+    The queue workload's flagship invariant: across crashes, every message
+    is dequeued at most once by transactions that *survived* (a vanished
+    consumer's dequeue does not count — its effects were never durable and
+    the stitched history erases it).  Returns ``{key: [txn ids]}`` for
+    every violating key.
+    """
+    consumers = {}
+    for txn in history.transactions.values():
+        if txn.txn_type != txn_type:
+            continue
+        for key, _seq in txn.writes:
+            if isinstance(key, tuple) and key[0] == table:
+                consumers.setdefault(key, []).append(txn.txn_id)
+    return {key: ids for key, ids in consumers.items() if len(ids) > 1}
+
+
+class CrashRecoveryRunner:
+    """Drives a workload through seeded crashes with the oracle attached."""
+
+    def __init__(
+        self,
+        workload,
+        configuration,
+        seed=7,
+        options=None,
+        fault_plan=None,
+        durability=None,
+        isolation_level="serializable",
+        history_window=None,
+    ):
+        self.workload = workload
+        self.configuration = configuration
+        self.seed = seed
+        self.options = options or EngineOptions()
+        self.durability_config = durability or default_crash_durability()
+        self.plan = (
+            fault_plan
+            if fault_plan is not None
+            else FaultPlan.from_seed(seed)
+        )
+        self.injector = FaultInjector(self.plan)
+        self.isolation_level = isolation_level
+        self.recorder = HistoryRecorder(
+            max_transactions=history_window, level=isolation_level
+        )
+        self.crashes = []
+        # Ids that ever committed in memory (any incarnation) or were
+        # resurrected as ghosts: distinguishes ghosts from known survivors
+        # when classifying a recovery.
+        self._known_committed = set()
+
+    # -- client processes ---------------------------------------------------
+
+    def _client(self, env, engine, stop_event, rng, mix, client_id):
+        backoff = self.options.retry_backoff
+        while not stop_event.triggered:
+            txn_type, args = self.workload.next_transaction(rng, mix)
+            attempts = 0
+            while not stop_event.triggered:
+                attempts += 1
+                try:
+                    yield from engine.execute_transaction(txn_type, args, client_id)
+                    break
+                except TransactionAborted:
+                    engine.stats.record_retry(None)
+                    if backoff > 0:
+                        delay = min(backoff * (2 ** min(attempts - 1, 5)), 0.1)
+                        yield env.timeout(delay)
+
+    def _spawn_incarnation(self, env, store, manager, txn_id_start, clients,
+                           incarnation):
+        engine = TebaldiEngine(
+            env,
+            self.configuration,
+            self.workload.transaction_types(),
+            store=store,
+            options=self.options,
+            durability=manager,
+            txn_id_start=txn_id_start,
+        )
+        engine.history_recorder = self.recorder
+        stop_event = env.event(name=f"stop-{incarnation}")
+        engine.start_services(stop_event)
+        mix = self.workload.validate_mix(self.workload.mix())
+        for client_id in range(clients):
+            rng = self.workload.make_rng(
+                derive_point_seed(self.seed, "crash-client", incarnation, client_id)
+            )
+            env.process(
+                self._client(env, engine, stop_event, rng, mix, client_id),
+                name=f"client-{incarnation}-{client_id}",
+            )
+        return engine
+
+    # -- crash handling -----------------------------------------------------
+
+    def _crash_and_recover(self, engine, store, manager):
+        """Recover the durable state and stitch the history across the crash.
+
+        Returns the rebuilt store for the next incarnation.
+        """
+        recorder = self.recorder
+        info = self.injector.crash_info or {}
+        crash_time = engine.env.now
+        committed_here = set(engine.committed_ids)
+        last_seq = store.last_commit_seq()
+        manager.crash()
+        recovery = manager.recover()
+        recovered = set(recovery.recovered_transactions)
+        vanished = committed_here - recovered
+        ghosts = recovered - self._known_committed - committed_here
+        recorder.on_crash(vanished)
+        self._known_committed |= committed_here - vanished
+
+        # Rebuild committed state: deterministic re-population (the catalog
+        # rows are immutable, so the initial versions reproduce exactly),
+        # then the surviving writes on top with their original sequences.
+        new_store = MultiVersionStore()
+        self.workload.populate(new_store)
+        next_fresh_seq = last_seq
+        restored = []
+        for key in sorted(recovery.state, key=repr):
+            writer = recovery.state_writers.get(key, 0)
+            if writer == 0:
+                continue
+            seq = recorder.seq_of(key, writer)
+            if seq is None:
+                # A ghost's write: it never committed in memory, so the
+                # recorder has no sequence for it — append it after every
+                # pre-crash version.
+                next_fresh_seq += 1
+                seq = next_fresh_seq
+            restored.append((seq, key, recovery.state[key], writer))
+        restored.sort(key=lambda entry: (entry[0], repr(entry[1])))
+        ghost_versions = {}
+        for seq, key, value, writer in restored:
+            version = new_store.restore_version(key, value, writer, commit_seq=seq)
+            if writer in ghosts:
+                ghost_versions.setdefault(writer, []).append(version)
+        new_store.advance_commit_seq(max(last_seq, next_fresh_seq))
+        for ghost in sorted(ghosts):
+            recorder.on_recovered(
+                ghost, ghost_versions.get(ghost, []), now=crash_time
+            )
+            self._known_committed.add(ghost)
+
+        # Checkpoint: wipe the logs and persist the recovered state as the
+        # next incarnation's base, so a discarded epoch's records cannot
+        # resurrect at the next recovery.
+        manager.checkpoint(recovery)
+        self.crashes.append(
+            CrashReport(
+                time=crash_time,
+                site=info.get("site", "?"),
+                occurrence=info.get("occurrence", 0),
+                committed_before=len(committed_here),
+                in_flight=len(engine.active),
+                vanished=tuple(sorted(vanished)),
+                recovered=tuple(sorted(recovered)),
+                ghosts=tuple(sorted(ghosts)),
+            )
+        )
+        return new_store
+
+    # -- measurement --------------------------------------------------------
+
+    def run(self, clients, duration=1.0, raise_on_violation=True):
+        """Run the workload across the planned crashes and check the whole
+        stitched history against the isolation oracle."""
+        manager = DurabilityManager(self.durability_config)
+        manager.faults = self.injector
+        store = MultiVersionStore()
+        self.workload.populate(store)
+        env = Environment()
+        txn_id_start = 1
+        incarnation = 0
+        commits = aborts = 0
+        while True:
+            engine = self._spawn_incarnation(
+                env, store, manager, txn_id_start, clients, incarnation
+            )
+            crash_event = self.injector.arm(env)
+            horizon = env.timeout(duration - env.now)
+            env.run(until=any_of(env, [crash_event, horizon]))
+            summary = engine.stats.summary()
+            commits += summary["commits"]
+            aborts += summary["aborts"]
+            if not self.injector.crashed:
+                break
+            store = self._crash_and_recover(engine, store, manager)
+            txn_id_start = next(engine._txn_ids)
+            env = Environment(initial_time=engine.env.now)
+            incarnation += 1
+            if env.now >= duration:
+                break
+        report = check_recorder(self.recorder, level=self.isolation_level)
+        result = CrashRunResult(
+            configuration=self.configuration.name,
+            clients=clients,
+            duration=duration,
+            commits=commits,
+            aborts=aborts,
+            throughput=commits / duration if duration > 0 else 0.0,
+            crashes=list(self.crashes),
+            incarnations=incarnation + 1,
+            extra={"isolation": report, "recorder": self.recorder},
+        )
+        if self.workload.name == "queue":
+            result.extra["exactly_once_violations"] = exactly_once_violations(
+                self.recorder.history()
+            )
+        if raise_on_violation:
+            report.raise_on_violation()
+        return result
+
+
+def run_crash_benchmark(
+    workload,
+    configuration,
+    clients,
+    duration=1.0,
+    seed=7,
+    crashes=1,
+    fault_plan=None,
+    raise_on_violation=True,
+    **kwargs,
+):
+    """One-shot helper: seeded crash-enabled checked run.
+
+    ``fault_plan`` overrides the seed-derived plan; ``crashes`` sets how
+    many seeded crash points the derived plan contains.
+    """
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_seed(seed, crashes=crashes)
+    runner = CrashRecoveryRunner(
+        workload,
+        configuration,
+        seed=seed,
+        fault_plan=fault_plan,
+        **kwargs,
+    )
+    return runner.run(
+        clients, duration=duration, raise_on_violation=raise_on_violation
+    )

@@ -159,5 +159,26 @@ def check_recorder(recorder, level="serializable"):
         if cycle:
             report.cycles.append(list(cycle))
             report.serializable = False
+        if getattr(recorder, "crossed_crash", False):
+            # Cross-crash mode: the streaming checker cannot retroactively
+            # flag a surviving transaction whose read of a *vanished*
+            # writer was folded in while that writer still looked
+            # committed.  The stitched history has the vanished ids marked
+            # aborted, so one linear anomaly pass over the retained
+            # records recovers exactly those reads; the cycle verdict
+            # stays incremental (purging cannot un-detect a real cycle).
+            stitched = _check_anomalies(recorder.history())
+            report.aborted_reads = list(
+                dict.fromkeys(
+                    [tuple(e) for e in report.aborted_reads]
+                    + [tuple(e) for e in stitched.aborted_reads]
+                )
+            )
+            report.intermediate_reads = list(
+                dict.fromkeys(
+                    [tuple(e) for e in report.intermediate_reads]
+                    + [tuple(e) for e in stitched.intermediate_reads]
+                )
+            )
         return report
     return check_history(recorder.history(), level=level)

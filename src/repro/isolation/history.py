@@ -165,6 +165,10 @@ class HistoryRecorder:
         self._aborted_ids = OrderedDict()
         self._evicted = False
         self.recorded_commits = 0
+        #: True once on_crash() stitched a crash into this recorder; the
+        #: checker then complements the streaming verdict with the
+        #: aborted/intermediate-read passes over the retained records.
+        self.crossed_crash = False
 
     def on_commit(self, txn, versions):
         """Record one committed transaction and its installed versions."""
@@ -208,6 +212,73 @@ class HistoryRecorder:
         if limit is not None:
             while len(aborted) > limit:
                 aborted.popitem(last=False)
+
+    def on_crash(self, vanished):
+        """Stitch a simulated crash into the recorded history.
+
+        ``vanished`` are transactions that committed in memory but did not
+        survive recovery.  They are erased from the retained records and
+        from every per-key version order — as if they never committed — and
+        marked aborted, so a surviving transaction that *read* their data
+        is flagged as an aborted read by the checker.  The streaming
+        checker (if any) performs the matching purge.
+        """
+        vanished = {txn_id for txn_id in vanished if txn_id}
+        if not vanished:
+            self.crossed_crash = True
+            return
+        aborted = self._aborted_ids
+        for txn_id in vanished:
+            if self._records.pop(txn_id, None) is not None:
+                self.recorded_commits -= 1
+            aborted[txn_id] = None
+        orders = self._version_orders
+        for key in list(orders):
+            order = orders[key]
+            if not any(writer in vanished for _seq, writer in order):
+                continue
+            kept = [entry for entry in order if entry[1] not in vanished]
+            if kept:
+                orders[key] = kept
+            else:
+                del orders[key]
+        if self.streaming_checker is not None:
+            self.streaming_checker.on_crash(vanished)
+        self.crossed_crash = True
+
+    def on_recovered(self, txn_id, versions, txn_type="recovered", now=0.0):
+        """Register a *ghost* survivor: a transaction whose precommit was
+        durable when the crash hit but which never committed in memory (the
+        crash fired between precommit and acknowledgement).  Recovery
+        resurrects its writes; its reads died with the crash, so only the
+        writes constrain the stitched graph — exactly the information the
+        durable log retains."""
+        writes = []
+        orders = self._version_orders
+        for version in versions:
+            key = version.key
+            writes.append((key, version.commit_seq))
+            order = orders.get(key)
+            if order is None:
+                order = orders[key] = []
+            order.append((version.commit_seq, version.writer))
+        if self.streaming_checker is not None:
+            self.streaming_checker.on_commit(txn_id, versions, (), ())
+        self._records[txn_id] = (txn_type, now, now, writes, [], ())
+        self.recorded_commits += 1
+
+    def seq_of(self, key, writer):
+        """Last recorded commit sequence of ``writer``'s version of ``key``.
+
+        The version orders are never ring-evicted, so this is authoritative
+        for the whole run — the crash harness uses it to restore surviving
+        versions with their original sequence numbers."""
+        order = self._version_orders.get(key)
+        if order:
+            for seq, order_writer in reversed(order):
+                if order_writer == writer:
+                    return seq
+        return None
 
     def __len__(self):
         return len(self._records)

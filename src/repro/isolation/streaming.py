@@ -39,7 +39,7 @@ forward one; both grow with distinct keys / committed scans, like the
 detector's node set.
 """
 
-from bisect import bisect_right, insort
+from bisect import bisect_left, bisect_right, insort
 
 from repro.isolation.cycles import IncrementalCycleDetector
 from repro.storage.ranges import slice_sorted_pks
@@ -228,6 +228,85 @@ class StreamingDSGChecker:
     def on_abort(self, txn_id):
         """Record the abort so later-committing readers of it are flagged."""
         self._aborted.add(txn_id)
+
+    def on_crash(self, vanished):
+        """Stitch across a simulated crash: erase the *vanished* writers.
+
+        ``vanished`` are transactions that committed in memory but were not
+        durable when the crash hit — recovery discarded them, so their
+        versions leave the durable timeline entirely.  Their per-key
+        version-order entries are purged (post-recovery edge derivation then
+        connects surviving versions directly) and the ids move from
+        committed to aborted, so any retained read of their data is flagged
+        exactly like a read of an aborted transaction.
+
+        Soundness of purging (rather than re-running the detector): the
+        rebuilt store hands out commit sequences strictly above every
+        pre-crash sequence, so every cross-crash edge points from the
+        pre-crash side to the post-crash side — no cycle can span the
+        crash, and edges already folded into the detector remain valid
+        (they were derived from reads/writes that really happened before
+        the crash; a cycle among them was a genuine pre-crash anomaly).
+        """
+        vanished = set(vanished)
+        if not vanished:
+            return
+        self._committed -= vanished
+        self._aborted |= vanished
+        writers_map, seqs_map, final = self._writers, self._seqs, self._final
+        dead_keys = []
+        for key, writers in writers_map.items():
+            if not any(writer in vanished for writer in writers):
+                continue
+            for writer in writers:
+                if writer in vanished:
+                    final.pop((key, writer), None)
+            kept = [
+                (seq, writer)
+                for seq, writer in zip(seqs_map[key], writers)
+                if writer not in vanished
+            ]
+            if kept:
+                seqs_map[key] = [seq for seq, _writer in kept]
+                writers_map[key] = [writer for _seq, writer in kept]
+            else:
+                dead_keys.append(key)
+        for key in dead_keys:
+            del writers_map[key]
+            del seqs_map[key]
+            if isinstance(key, tuple) and len(key) == 2:
+                table, pk = key
+                pks = self._table_pks.get(table)
+                if pks:
+                    index = bisect_left(pks, pk)
+                    if index < len(pks) and pks[index] == pk:
+                        del pks[index]
+        # A vanished transaction must leave no trace as a *reader* either:
+        # its parked reads would otherwise surface as false pending-aborted
+        # reads, and its scan predicates would owe phantom edges it can no
+        # longer be charged with.
+        empty_slots = []
+        for slot_key, readers in self._waiting.items():
+            for reader in list(readers):
+                if reader in vanished:
+                    del readers[reader]
+            if not readers:
+                empty_slots.append(slot_key)
+        for slot_key in empty_slots:
+            del self._waiting[slot_key]
+        for table, watchers in self._scan_watch.items():
+            self._scan_watch[table] = [
+                entry for entry in watchers if entry[0] not in vanished
+            ]
+        # Anomalies already charged to a now-vanished reader evaporate with
+        # it (it left no trace); anomalies *against* vanished writers are
+        # re-derived by the checker's stitched-history pass.
+        self.aborted_reads = [
+            entry for entry in self.aborted_reads if entry[0] not in vanished
+        ]
+        self.intermediate_reads = [
+            entry for entry in self.intermediate_reads if entry[0] not in vanished
+        ]
 
     def pending_aborted_reads(self):
         """Parked readers whose writer never committed: aborted reads.

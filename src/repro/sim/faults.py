@@ -1,0 +1,156 @@
+"""Seeded fault injection: deterministic crash schedules for the simulator.
+
+A :class:`FaultPlan` names the adversarial points at which the simulated
+cluster loses its volatile state (a "crash"): mid-commit between per-server
+precommit flushes (a torn precommit record set), immediately after a durable
+precommit but before the commit becomes visible, or around/inside a GCP
+epoch flush (a torn epoch).  The plan is pure data derived from the run
+seed, so every failure schedule — and therefore every recovery and every
+oracle verdict — reproduces byte-identically for a fixed seed.
+
+The :class:`FaultInjector` is the runtime half: the durability module calls
+:meth:`FaultInjector.trip` at each instrumented site, and when the planned
+occurrence of a site is reached the injector declares the crash, freezes
+the caller (the durability manager stops persisting anything) and fires the
+crash event the harness is waiting on.  The harness then tears the world
+down, drives WAL recovery, and resumes the workload — see
+:mod:`repro.harness.crash`.
+"""
+
+import random
+from dataclasses import dataclass
+
+#: Instrumented crash sites, in the durability module:
+#:
+#: * ``precommit-record`` — after one per-server precommit record is
+#:   appended (and, in synchronous mode, flushed).  Firing with
+#:   ``index < total - 1`` leaves a *torn* precommit set behind.
+#: * ``precommit-done``  — after the full precommit set is persisted but
+#:   before the commit becomes visible: the transaction is durable yet
+#:   unacknowledged (the "ghost" recovery case).
+#: * ``gcp-before``      — at the start of a GCP epoch advance: nothing of
+#:   the closing epoch is durable yet.
+#: * ``gcp-server``      — after one server's epoch flush inside the
+#:   advance: a torn epoch (some servers flushed, marker not advanced).
+#: * ``gcp-after``       — after the persistent-epoch marker advanced.
+#: * ``operation``       — after an operation log append (soak noise).
+SITES = (
+    "precommit-record",
+    "precommit-done",
+    "gcp-before",
+    "gcp-server",
+    "gcp-after",
+    "operation",
+)
+
+#: Sites used by seeded plans.  ``operation`` is excluded by default: it
+#: adds nothing a precommit-site crash does not cover, and including it
+#: would skew short runs toward the least interesting point.
+DEFAULT_SITES = SITES[:-1]
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """Crash at the ``occurrence``-th trip of ``site`` (1-based, counted
+    from the start of the current incarnation)."""
+
+    site: str
+    occurrence: int = 1
+
+    def __post_init__(self):
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; known: {SITES}")
+        if self.occurrence < 1:
+            raise ValueError(f"occurrence must be >= 1, got {self.occurrence}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered tuple of crash points: one simulated crash per point."""
+
+    points: tuple = ()
+
+    @classmethod
+    def from_seed(cls, seed, crashes=1, sites=DEFAULT_SITES, max_occurrence=25):
+        """Derive a deterministic plan from the run seed.
+
+        Uses ``random.Random`` over integers only (no salted hashes), so the
+        schedule is identical across processes and interpreter restarts.
+        """
+        if crashes < 0:
+            raise ValueError(f"crashes must be >= 0, got {crashes}")
+        rng = random.Random((int(seed) << 8) ^ 0xFA17)
+        points = tuple(
+            CrashPoint(site=rng.choice(tuple(sites)),
+                       occurrence=rng.randint(1, max_occurrence))
+            for _ in range(crashes)
+        )
+        return cls(points=points)
+
+    def __len__(self):
+        return len(self.points)
+
+
+class FaultInjector:
+    """Runtime crash scheduler driven by the durability module's trip calls.
+
+    One injector lives for the whole (multi-incarnation) run; the harness
+    re-arms it with the new environment after every recovery, which resets
+    the per-site occurrence counters and moves on to the next planned point.
+    """
+
+    def __init__(self, plan=None):
+        self.plan = plan or FaultPlan()
+        self.crashed = False
+        self.crash_info = None
+        #: One info dict per crash that actually fired, in order.
+        self.crash_log = []
+        self._counts = {}
+        self._next_index = 0
+        self._event = None
+        self._env = None
+
+    def has_pending(self):
+        """True if a planned crash point has not fired yet."""
+        return self._next_index < len(self.plan.points)
+
+    def arm(self, env):
+        """Start a new incarnation: fresh crash event, counters reset.
+
+        Returns the event the harness should wait on; it fires when (and
+        only when) the next planned crash point trips.  If the plan is
+        exhausted the event simply never triggers.
+        """
+        self.crashed = False
+        self.crash_info = None
+        self._counts = {}
+        self._env = env
+        self._event = env.event(name="crash")
+        return self._event
+
+    def trip(self, site, **detail):
+        """Notify the injector that an instrumented site was reached.
+
+        Returns ``True`` exactly once per planned crash point — at the
+        planned occurrence of the planned site — after which the caller
+        must stop persisting state (the machine is "down").
+        """
+        if self.crashed or self._next_index >= len(self.plan.points):
+            return False
+        count = self._counts.get(site, 0) + 1
+        self._counts[site] = count
+        point = self.plan.points[self._next_index]
+        if point.site != site or point.occurrence != count:
+            return False
+        self.crashed = True
+        self._next_index += 1
+        self.crash_info = {
+            "site": site,
+            "occurrence": count,
+            "time": self._env.now if self._env is not None else None,
+            "detail": dict(detail),
+        }
+        self.crash_log.append(self.crash_info)
+        if self._event is not None and not self._event.triggered:
+            self._event.succeed(self.crash_info)
+        return True

@@ -5,14 +5,25 @@ asynchronous flushing with global checkpoint (GCP) epochs, and recovery
 The manager is deliberately independent of the concurrency-control module: a
 committed-but-not-yet-durable transaction looks exactly like a durable one to
 every CC mechanism, which is what keeps the overhead at ~5% in Table 4.2.
+
+Fault injection: when a :class:`~repro.sim.faults.FaultInjector` is attached
+(``manager.faults``), the manager notifies it at every instrumented site —
+between per-server precommit appends/flushes, after a complete precommit,
+and around the per-server flushes of a GCP epoch advance.  When the injector
+declares a crash the manager *halts*: every subsequent append or flush is a
+no-op, modelling a machine that is down.  :meth:`crash` then discards the
+volatile state (log buffers, waiters) and :meth:`recover` replays whatever
+made it to the persistent backends.
 """
 
+import zlib
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from itertools import count
 
-from repro.errors import RecoveryError
+from repro.errors import ConfigurationError, RecoveryError
 from repro.storage.backends import InMemoryBackend
-from repro.storage.wal import LogRecord, WriteAheadLog
+from repro.storage.wal import LogRecord, WriteAheadLog, decode_key, encode_key
 
 
 @dataclass
@@ -26,11 +37,27 @@ class DurabilityConfig:
     sync_flush_delay: float = 200e-6
     async_flush_delay: float = 50e-6
 
+    def __post_init__(self):
+        if self.num_servers < 1:
+            raise ConfigurationError(
+                f"durability num_servers must be >= 1, got {self.num_servers}"
+            )
+        if self.gcp_epoch_length <= 0:
+            raise ConfigurationError(
+                "durability gcp_epoch_length must be positive, "
+                f"got {self.gcp_epoch_length}"
+            )
+        if self.sync_flush_delay < 0 or self.async_flush_delay < 0:
+            raise ConfigurationError(
+                "durability flush delays must be non-negative, got "
+                f"sync={self.sync_flush_delay} async={self.async_flush_delay}"
+            )
+
 
 class DurabilityManager:
     """Coordinates per-data-server WALs and the GCP asynchronous flush."""
 
-    def __init__(self, config=None, backend_factory=InMemoryBackend):
+    def __init__(self, config=None, backend_factory=InMemoryBackend, faults=None):
         self.config = config or DurabilityConfig()
         self.backends = [backend_factory() for _ in range(self.config.num_servers)]
         self.logs = [
@@ -40,39 +67,65 @@ class DurabilityManager:
         self._current_gcp_epoch = [1] * self.config.num_servers
         self._persistent_gcp_epoch = 0
         self._durable_waiters = defaultdict(list)
+        self._precommit_ticket = count(1)
         self.records_written = 0
+        #: Optional FaultInjector; assigned by the crash harness.
+        self.faults = faults
+        self._halted = False
 
     @property
     def enabled(self):
         return self.config.enabled
 
     @property
+    def halted(self):
+        """True after an injected crash fired: the machine is down."""
+        return self._halted
+
+    @property
     def persistent_gcp_epoch(self):
         return self._persistent_gcp_epoch
 
     def server_for(self, key):
-        """Hash-partition a storage key onto a data server."""
-        return hash(key) % self.config.num_servers
+        """Hash-partition a storage key onto a data server.
+
+        Uses CRC32 of the key's repr rather than ``hash()``: Python string
+        hashing is salted per interpreter, and the partitioning must be
+        byte-identical across processes for fault schedules and recovered
+        survivor sets to reproduce from a seed.
+        """
+        return zlib.crc32(repr(key).encode("utf-8")) % self.config.num_servers
 
     def current_epoch(self, server_id):
         return self._current_gcp_epoch[server_id]
+
+    def _trip(self, site, **detail):
+        """Report an instrumented site to the fault injector; on a planned
+        crash the manager halts (everything volatile is about to be lost)."""
+        if self.faults is None:
+            return False
+        if self.faults.trip(site, **detail):
+            self._halted = True
+            return True
+        return False
 
     # -- logging -----------------------------------------------------------
 
     def log_operation(self, txn, key, value):
         """Append an operation log for a buffered write."""
-        if not self.enabled:
+        if not self.enabled or self._halted:
             return None
         server_id = self.server_for(key)
         record = LogRecord(
             kind="operation",
             txn_id=txn.txn_id,
             server_id=server_id,
-            payload={"key": repr(key), "value": value},
+            payload={"key": encode_key(key), "value": value},
             gcp_epoch=self._current_gcp_epoch[server_id],
         )
         self.logs[server_id].append(record)
         self.records_written += 1
+        self._trip("operation", txn_id=txn.txn_id, server_id=server_id)
         return record
 
     def precommit(self, txn, writes):
@@ -82,15 +135,28 @@ class DurabilityManager:
         transaction.  Returns the transaction's *global* GCP epoch id (the
         maximum over participants), which the coordinator propagates in the
         commit notification.
+
+        Every record carries the participant count (recovery must not trust
+        a partial set to describe itself) and a monotonically increasing
+        ``ticket``: precommit happens atomically with the in-memory commit,
+        so ticket order *is* commit order, and recovery replays surviving
+        records in ticket order to rebuild the latest value of every key.
+
+        In synchronous mode each record is flushed as it is appended; a
+        crash injected between records leaves a durable *torn* precommit
+        set, which recovery must discard.
         """
-        if not self.enabled:
+        if not self.enabled or self._halted:
             return 0
         by_server = defaultdict(list)
         for key, value in writes:
-            by_server[self.server_for(key)].append((repr(key), value))
+            by_server[self.server_for(key)].append((encode_key(key), value))
         participants = sorted(by_server) if by_server else [0]
+        total = len(participants)
+        ticket = next(self._precommit_ticket)
+        synchronous = not self.config.asynchronous
         global_epoch = 0
-        for server_id in participants:
+        for index, server_id in enumerate(participants):
             epoch = self._current_gcp_epoch[server_id]
             global_epoch = max(global_epoch, epoch)
             record = LogRecord(
@@ -98,24 +164,33 @@ class DurabilityManager:
                 txn_id=txn.txn_id,
                 server_id=server_id,
                 payload={
-                    "participants": len(participants),
+                    "participants": total,
+                    "ticket": ticket,
                     "writes": by_server.get(server_id, []),
                 },
                 gcp_epoch=epoch,
             )
             self.logs[server_id].append(record)
             self.records_written += 1
-        if not self.config.asynchronous:
-            for server_id in participants:
+            if synchronous:
                 self.logs[server_id].flush()
+            if self._trip(
+                "precommit-record",
+                txn_id=txn.txn_id,
+                index=index,
+                total=total,
+            ):
+                return 0
+        if synchronous:
             self._persistent_gcp_epoch = max(
                 self._persistent_gcp_epoch, global_epoch
             )
+        self._trip("precommit-done", txn_id=txn.txn_id)
         return global_epoch
 
     def commit_notification(self, txn, global_epoch):
         """Apply the commit notification: bump lagging servers' epochs."""
-        if not self.enabled:
+        if not self.enabled or self._halted:
             return
         for server_id in range(self.config.num_servers):
             if global_epoch > self._current_gcp_epoch[server_id]:
@@ -134,15 +209,24 @@ class DurabilityManager:
     def advance_gcp_epoch(self):
         """Close the current GCP epoch: flush its logs and open the next one.
 
-        Returns the epoch that became persistent.
+        Returns the epoch that became persistent (0 if nothing happened).
+        A crash injected between the per-server flushes leaves a *torn*
+        epoch behind: some servers' records are durable but the persistent
+        marker never advanced, so recovery discards the whole epoch.
         """
-        if not self.enabled:
+        if not self.enabled or self._halted:
+            return 0
+        if self._trip("gcp-before"):
             return 0
         closing = max(self._current_gcp_epoch)
         for server_id, log in enumerate(self.logs):
             log.flush(up_to_epoch=closing)
+            if self._trip("gcp-server", server_id=server_id, epoch=closing):
+                return 0
+        for server_id in range(self.config.num_servers):
             self._current_gcp_epoch[server_id] = closing + 1
         self._persistent_gcp_epoch = max(self._persistent_gcp_epoch, closing)
+        self._trip("gcp-after", epoch=closing)
         self._notify_durable()
         return closing
 
@@ -168,7 +252,20 @@ class DurabilityManager:
             yield env.timeout(self.config.gcp_epoch_length)
             self.advance_gcp_epoch()
 
-    # -- recovery ---------------------------------------------------------------
+    # -- crash / recovery ---------------------------------------------------
+
+    def crash(self):
+        """Lose all volatile state: log buffers, waiters, epoch counters.
+
+        Persistent backends survive.  Clears the halt so the manager can be
+        reused by the next incarnation (after :meth:`recover`).
+        """
+        for log in self.logs:
+            log.crash()
+        self._durable_waiters.clear()
+        self._halted = False
+        resume = self._persistent_gcp_epoch + 1
+        self._current_gcp_epoch = [resume] * self.config.num_servers
 
     def recover(self):
         """Replay persistent logs and rebuild the latest committed state.
@@ -176,41 +273,102 @@ class DurabilityManager:
         Implements the three-step recovery of Section 4.5.4 (minus the CC
         state rebuild, which the engine performs):
 
-        1. retrieve durable records from every server;
+        1. retrieve durable records from every server (checkpoint records
+           first: they are the base state of the current incarnation);
         2. discard transactions with fewer precommit records than their
-           participant count, or whose GCP epoch exceeds the persistent one;
+           participant count — every record must carry the count, a record
+           set is never trusted to describe its own completeness — or whose
+           GCP epoch exceeds the persistent one.  The epoch filter always
+           applies: before the first GCP advance the persistent epoch is 0,
+           so asynchronous-mode records (epoch >= 1) are correctly discarded
+           — nothing was durably flushed yet.  Synchronous precommits bump
+           the persistent epoch at flush time and therefore pass.
         3. reconstruct the latest value of every object from the surviving
-           precommit records, in log-sequence order.
+           precommit records, in precommit-ticket (= commit) order.
         """
+        base_state = {}
+        base_writers = {}
         precommits = defaultdict(list)
-        order = []
         for log in self.logs:
             for record in log.persisted_records():
-                if record.kind != "precommit":
-                    continue
-                precommits[record.txn_id].append(record)
-                order.append(record)
+                if record.kind == "checkpoint":
+                    key = decode_key(record.payload["key"])
+                    base_state[key] = record.payload.get("value")
+                    base_writers[key] = record.payload.get("writer", 0)
+                elif record.kind == "precommit":
+                    precommits[record.txn_id].append(record)
         survivors = set()
+        replayable = []
         for txn_id, records in precommits.items():
-            expected = records[0].payload.get("participants", len(records))
-            if len(records) < expected:
+            counts = [
+                r.payload["participants"]
+                for r in records
+                if "participants" in r.payload
+            ]
+            if len(counts) != len(records):
                 continue
-            max_epoch = max(r.gcp_epoch for r in records)
-            if self._persistent_gcp_epoch and max_epoch > self._persistent_gcp_epoch:
+            if len(records) < max(counts):
+                continue
+            if max(r.gcp_epoch for r in records) > self._persistent_gcp_epoch:
                 continue
             survivors.add(txn_id)
-        state = {}
-        order.sort(key=lambda r: (r.gcp_epoch, r.txn_id, r.server_id, r.lsn))
-        for record in order:
-            if record.txn_id not in survivors:
-                continue
-            for key_repr, value in record.payload.get("writes", []):
-                state[key_repr] = value
+            replayable.extend(records)
+        state = dict(base_state)
+        writers = dict(base_writers)
+        replayable.sort(
+            key=lambda r: (r.payload.get("ticket", 0), r.server_id, r.lsn)
+        )
+        for record in replayable:
+            for encoded_key, value in record.payload.get("writes", []):
+                key = decode_key(encoded_key)
+                state[key] = value
+                writers[key] = record.txn_id
         return RecoveryResult(
             recovered_transactions=survivors,
             discarded_transactions=set(precommits) - survivors,
             state=state,
+            state_writers=writers,
         )
+
+    def checkpoint(self, result):
+        """Persist a recovery result as the base state of a new incarnation.
+
+        Wipes every server's durable log and replaces it with one flushed
+        ``checkpoint`` record per recovered key.  This prevents records of a
+        *discarded* epoch from resurrecting at the next recovery (once later
+        epochs become persistent, a torn epoch's complete record sets would
+        otherwise pass the epoch filter), and resets LSNs and GCP epochs so
+        the next incarnation starts clean.  Returns the number of
+        checkpoint records written.
+        """
+        if not self.enabled:
+            return 0
+        for server_id, (log, backend) in enumerate(zip(self.logs, self.backends)):
+            for key, _value in backend.scan(f"wal/{server_id}/"):
+                backend.delete(key)
+            log.reset()
+        written = 0
+        for key in sorted(result.state, key=repr):
+            server_id = self.server_for(key)
+            record = LogRecord(
+                kind="checkpoint",
+                txn_id=0,
+                server_id=server_id,
+                payload={
+                    "key": encode_key(key),
+                    "value": result.state[key],
+                    "writer": result.state_writers.get(key, 0),
+                },
+                gcp_epoch=0,
+            )
+            self.logs[server_id].append(record)
+            written += 1
+        for log in self.logs:
+            log.flush()
+        self._persistent_gcp_epoch = 0
+        self._current_gcp_epoch = [1] * self.config.num_servers
+        self._halted = False
+        return written
 
 
 @dataclass
@@ -220,6 +378,9 @@ class RecoveryResult:
     recovered_transactions: set
     discarded_transactions: set
     state: dict
+    #: key -> txn id of the surviving writer that produced ``state[key]``
+    #: (0 for initial-load values restored from a checkpoint).
+    state_writers: dict = field(default_factory=dict)
 
     def require_transaction(self, txn_id):
         if txn_id not in self.recovered_transactions:

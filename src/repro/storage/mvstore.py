@@ -367,6 +367,38 @@ class MultiVersionStore:
 
     # -- snapshot / recovery helpers -------------------------------------------
 
+    def restore_version(self, key, value, writer, writer_type="recovered",
+                        commit_seq=None):
+        """Install a committed version rebuilt from the durable log.
+
+        Used by crash recovery after re-populating the initial load: the
+        surviving transactions' final writes are appended with their
+        original commit sequence (so the cross-crash version order is
+        preserved) and timestamp 0.0 (visible to every snapshot, like
+        loaded data).  ``commit_seq`` defaults to the next sequence.
+        """
+        if commit_seq is None:
+            commit_seq = next(self._commit_seq)
+        version = Version(key=key, value=value, writer=writer,
+                          writer_type=writer_type)
+        version.mark_committed(commit_seq, timestamp=0.0)
+        if commit_seq > self._last_commit_seq:
+            self._last_commit_seq = commit_seq
+        self._append_committed(key, version)
+        self._index_key(key)
+        return version
+
+    def advance_commit_seq(self, floor):
+        """Fast-forward the commit-sequence counter past ``floor``.
+
+        After recovery the rebuilt store must hand out sequences strictly
+        above every pre-crash sequence, so the stitched cross-crash history
+        keeps one total version order per key.
+        """
+        if floor > self._last_commit_seq:
+            self._last_commit_seq = floor
+        self._commit_seq = count(self._last_commit_seq + 1)
+
     def latest_state(self):
         """Map of key -> value of the latest committed version (for recovery)."""
         return {

@@ -5,6 +5,25 @@ from itertools import count
 from typing import Any
 
 
+def encode_key(key):
+    """Encode a storage key for a WAL payload.
+
+    Composite keys are tuples; JSON-backed backends round-trip tuples as
+    lists, so the codec normalises to lists on the way in and restores
+    tuples on the way out.  Scalars pass through unchanged.
+    """
+    if isinstance(key, tuple):
+        return [encode_key(part) for part in key]
+    return key
+
+
+def decode_key(encoded):
+    """Inverse of :func:`encode_key`."""
+    if isinstance(encoded, (list, tuple)):
+        return tuple(decode_key(part) for part in encoded)
+    return encoded
+
+
 @dataclass
 class LogRecord:
     """One write-ahead log record.
@@ -86,6 +105,22 @@ class WriteAheadLog:
         if flushed:
             self.flush_count += 1
         return flushed
+
+    def crash(self):
+        """Simulate a machine crash: the volatile tail of the log is lost.
+
+        Records already persisted by :meth:`flush` survive in the backend;
+        everything still buffered vanishes without trace.
+        """
+        lost = len(self._buffer)
+        self._buffer = []
+        return lost
+
+    def reset(self, lsn_start=1):
+        """Restart the log for a new incarnation (after a checkpoint wiped
+        the backend): empty buffer, LSNs restart from ``lsn_start``."""
+        self._buffer = []
+        self._lsn = count(lsn_start)
 
     def persisted_records(self):
         """Read back every durable record of this server from the backend."""

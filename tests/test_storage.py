@@ -10,7 +10,7 @@ from repro.storage.durability import DurabilityConfig, DurabilityManager
 from repro.storage.gc import GarbageCollector
 from repro.storage.mvstore import MultiVersionStore
 from repro.storage.tables import Catalog, Table, TableSchema, composite_key
-from repro.storage.wal import LogRecord, WriteAheadLog
+from repro.storage.wal import LogRecord, WriteAheadLog, decode_key, encode_key
 
 
 def make_txn(txn_id, txn_type="t"):
@@ -218,6 +218,68 @@ class TestWriteAheadLog:
         assert wal.flush(up_to_epoch=1) == 1
         assert wal.pending == 1
 
+    def test_interleaved_sync_async_flushes_preserve_lsn_order(self):
+        """Sync (immediate) and async (epoch-batched) flushes interleave;
+        persisted_records() must still return every flushed record exactly
+        once, in LSN order, with no record skipped by the epoch filter."""
+        wal = WriteAheadLog(0, InMemoryBackend())
+        wal.append(LogRecord(kind="precommit", txn_id=1, server_id=0, gcp_epoch=1))
+        wal.append(LogRecord(kind="precommit", txn_id=2, server_id=0, gcp_epoch=2))
+        wal.flush(up_to_epoch=1)  # async epoch flush, leaves txn 2 pending
+        wal.append(LogRecord(kind="precommit", txn_id=3, server_id=0, gcp_epoch=0))
+        wal.flush()  # sync flush: everything buffered, regardless of epoch
+        wal.append(LogRecord(kind="precommit", txn_id=4, server_id=0, gcp_epoch=3))
+        wal.flush(up_to_epoch=3)
+        records = wal.persisted_records()
+        assert [r.txn_id for r in records] == [1, 2, 3, 4]
+        assert [r.lsn for r in records] == [1, 2, 3, 4]
+        assert wal.pending == 0
+
+    def test_crash_interrupted_flush_keeps_persisted_prefix(self):
+        """A crash mid-run drops the volatile buffer but never the records
+        already handed to the backend."""
+        wal = WriteAheadLog(0, InMemoryBackend())
+        wal.append(LogRecord(kind="precommit", txn_id=1, server_id=0, gcp_epoch=1))
+        wal.flush()
+        wal.append(LogRecord(kind="precommit", txn_id=2, server_id=0, gcp_epoch=2))
+        wal.append(LogRecord(kind="precommit", txn_id=3, server_id=0, gcp_epoch=2))
+        lost = wal.crash()
+        assert lost == 2
+        assert wal.pending == 0
+        assert [r.txn_id for r in wal.persisted_records()] == [1]
+
+    def test_reset_restarts_lsns(self):
+        wal = WriteAheadLog(0, InMemoryBackend())
+        wal.append(LogRecord(kind="operation", txn_id=1, server_id=0))
+        wal.flush()
+        wal.reset()
+        record = wal.append(LogRecord(kind="operation", txn_id=2, server_id=0))
+        assert record.lsn == 1
+
+    def test_key_codec_roundtrips_through_file_backend(self, tmp_path):
+        """Tuple keys survive a JSON backend: encode to lists on the way
+        in, decode back to tuples on the way out."""
+        key = ("accounts", ("savings", 7))
+        assert decode_key(encode_key(key)) == key
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(0, FileBackend(path))
+        wal.append(
+            LogRecord(
+                kind="precommit",
+                txn_id=1,
+                server_id=0,
+                payload={"writes": [(encode_key(key), {"v": 1})], "participants": 1, "ticket": 1},
+                gcp_epoch=0,
+            )
+        )
+        wal.flush()
+        reloaded = WriteAheadLog(0, FileBackend(path))
+        records = reloaded.persisted_records()
+        assert len(records) == 1
+        (encoded, value), = records[0].payload["writes"]
+        assert decode_key(encoded) == key
+        assert value == {"v": 1}
+
 
 class TestDurability:
     def _manager(self, asynchronous=True):
@@ -246,7 +308,8 @@ class TestDurability:
         manager.precommit(txn, [(("a", 1), {"v": 7})])
         result = manager.recover()
         assert 7 in result.recovered_transactions
-        assert result.state.get(repr(("a", 1))) == {"v": 7}
+        assert result.state.get(("a", 1)) == {"v": 7}
+        assert result.state_writers.get(("a", 1)) == 7
 
     def test_async_needs_gcp_flush_to_be_durable(self):
         manager = self._manager(asynchronous=True)
@@ -261,7 +324,8 @@ class TestDurability:
         for txn_id, value in ((1, 10), (2, 20)):
             manager.precommit(make_txn(txn_id), [(("a", 1), {"v": value})])
         result = manager.recover()
-        assert result.state[repr(("a", 1))] == {"v": 20}
+        assert result.state[("a", 1)] == {"v": 20}
+        assert result.state_writers[("a", 1)] == 2
 
     def test_commit_notification_advances_lagging_epochs(self):
         manager = self._manager()
