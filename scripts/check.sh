@@ -16,7 +16,10 @@
 # cells fan out across --workers processes (WORKERS env var overrides;
 # results are identical whatever the worker count).  The crash-recovery
 # smoke additionally crashes the queue cells at a seeded fault point and
-# checks the stitched pre-crash + post-recovery history as one.
+# checks the stitched pre-crash + post-recovery history as one.  The
+# network-chaos smoke runs the queue cells through a seeded drop and a
+# partition-and-heal window (timeouts, retries, commit-ticket dedup, the
+# admission valve) and checks the whole degraded run as a single history.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -50,6 +53,10 @@ python -m repro.harness --workload smallbank --config ssi --config 3layer --quic
 echo
 echo "== crash-recovery smoke (cross-crash oracle) =="
 python -m repro.harness --workload queue --config 2layer --config 3layer --faults 1 --quick --workers "$WORKERS"
+
+echo
+echo "== network-chaos smoke (degraded-mode oracle) =="
+python -m repro.harness --workload queue --config 2layer --config 3layer --net-faults 2 --quick --workers "$WORKERS"
 
 echo
 echo "== examples smoke =="

@@ -42,6 +42,13 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
         # rw anti-dependency even when the key did not exist at scan time —
         # the phantom edge item-level reader tracking cannot see.
         self._range_readers = {}
+        # key -> {txn_id: txn}: writes *announced* via before_write whose
+        # versions are not necessarily installed yet (a child CC may block
+        # the writer on a lock between the hook and the install).  Readers
+        # and scanners must see these intents — the SSI analogue of reads
+        # checking the write-lock table — or an rw edge formed in the
+        # announce-to-install window is silently missed.
+        self._write_intents = {}
         self._in_antidep = set()
         self._out_antidep = set()
         self._doomed = set()
@@ -182,11 +189,34 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
         if tables is None:
             tables = state["scan_tables"] = set()
         tables.add(key_range.table)
+        # Announced-but-uninstalled writes inside the range are phantoms
+        # this scan's snapshot will miss.
+        for key, intents in list(self._write_intents.items()):
+            table = key[0] if isinstance(key, tuple) and len(key) == 2 else key
+            if table != key_range.table:
+                continue
+            pk = key[1] if isinstance(key, tuple) and len(key) == 2 else key
+            if not key_range.contains_pk(pk):
+                continue
+            for writer_id, writer in list(intents.items()):
+                if writer_id == txn.txn_id or not writer.is_active:
+                    continue
+                if not self._delegated(txn, writer):
+                    self._mark_antidependency(txn, writer)
 
     def before_write(self, txn, key, value):
         if self.read_only_optimization and not txn.read_only:
             # Update-group writes are fully regulated by the child CC.
             return
+        state = self.state(txn)
+        intents = self._write_intents.get(key)
+        if intents is None:
+            intents = self._write_intents[key] = {}
+        intents[txn.txn_id] = txn
+        write_keys = state.get("write_keys")
+        if write_keys is None:
+            write_keys = state["write_keys"] = set()
+        write_keys.add(key)
         start_ts = self._start_ts(txn)
         latest = self.engine.store.latest_committed(key)
         if latest is not None and self._writer_commit_ts(latest) > start_ts:
@@ -291,6 +321,20 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
                 continue
             if not self._delegated(txn, writer) and pending is not chosen:
                 self._mark_antidependency(txn, writer)
+        # Announced writes whose versions are not installed yet (writer
+        # blocked inside a child CC between hook and install) — without
+        # this, an rw edge formed in that window is invisible to both the
+        # reader-side and the writer-side checks.
+        intents = self._write_intents.get(key)
+        if intents:
+            for writer_id, writer in list(intents.items()):
+                if writer_id == txn.txn_id or not writer.is_active:
+                    continue
+                if self._delegated(txn, writer):
+                    continue
+                if chosen is not None and chosen.writer == writer_id:
+                    continue
+                self._mark_antidependency(txn, writer)
         state["read_keys"].add(key)
         return chosen
 
@@ -323,6 +367,12 @@ class SerializableSnapshotIsolation(ConcurrencyControl):
         self._active_members.discard(txn.txn_id)
         self._member_starts.pop(txn.txn_id, None)
         state = self.state(txn)
+        for key in state.get("write_keys", ()):  # prune write intents
+            intents = self._write_intents.get(key)
+            if intents is not None:
+                intents.pop(txn.txn_id, None)
+                if not intents:
+                    self._write_intents.pop(key, None)
         if committed and (state.get("read_keys") or state.get("scan_tables")):
             # Retain the committed reader's (SIREAD) entries: they still
             # constrain writers whose snapshots predate this commit.

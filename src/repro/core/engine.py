@@ -23,6 +23,7 @@ a dependency-graph generation counter, and finished-transaction bookkeeping
 is O(1) amortized.
 """
 
+import random
 from collections import deque
 from dataclasses import dataclass, field
 from itertools import count
@@ -35,7 +36,7 @@ from repro.core.transaction import ReadRecord, ScanRecord, Transaction, Transact
 from repro.core.tree import build_routes, build_tree
 from repro.errors import ConfigurationError, TransactionAborted
 from repro.sim.events import Event, Timeout, any_of
-from repro.sim.network import ClusterModel
+from repro.sim.network import TIMESTAMP_SERVER, ClusterModel
 from repro.sim.resources import Condition
 from repro.storage.durability import DurabilityConfig, DurabilityManager
 from repro.storage.gc import GarbageCollector
@@ -59,6 +60,19 @@ class EngineOptions:
     keep_history: bool = True
     history_limit: int = 200_000
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
+    # Degraded-mode (message fault) tunables.  All inert unless a
+    # MessageFaultInjector with a non-empty plan is attached to the cluster:
+    # per-phase reply timeout, bounded retry budget for never-applied
+    # requests, and capped exponential backoff with seeded deterministic
+    # randomization.  ``net_park_threshold`` is the admission valve: once
+    # that many exchanges are backed up in retry, new transactions park
+    # until the backlog drains to half the threshold.
+    net_phase_timeout: float = 0.002
+    net_retry_limit: int = 8
+    net_backoff_base: float = 0.0004
+    net_backoff_cap: float = 0.0064
+    net_backoff_seed: int = 0
+    net_park_threshold: int = 12
 
 
 class TebaldiEngine:
@@ -115,6 +129,21 @@ class TebaldiEngine:
         self.history_recorder = None
         self._paused_types = set()
         self._draining = False
+
+        # Degraded-mode state: retry backlog and the admission valve.  The
+        # backoff RNG is seeded (integers only) so retry schedules — and
+        # therefore whole degraded runs — reproduce byte-identically.
+        self._net_rng = random.Random((int(self.options.net_backoff_seed) << 8) ^ 0xB0FF)
+        self._net_backlog = 0
+        self._net_degraded = False
+        self.net_stats = {
+            "retries": 0,
+            "duplicate_deliveries": 0,
+            "retransmit_applies": 0,
+            "unreachable_aborts": 0,
+            "parked": 0,
+            "degraded_windows": 0,
+        }
 
         # Memoized transitive-dependency reachability, invalidated whenever
         # the dependency graph changes shape (new edge, transaction retired).
@@ -221,7 +250,7 @@ class TebaldiEngine:
         :class:`TransactionAborted` if the attempt aborts (the caller decides
         whether to retry).
         """
-        if self._draining or txn_type in self._paused_types:
+        if self._draining or self._net_degraded or txn_type in self._paused_types:
             yield from self._wait_for_admission(txn_type)
         txn = self.begin(txn_type, args, client_id)
         try:
@@ -233,14 +262,29 @@ class TebaldiEngine:
         return txn
 
     def _wait_for_admission(self, txn_type):
-        while self._draining or txn_type in self._paused_types:
+        if self._net_degraded:
+            # The admission valve: retry queues backed up past the
+            # threshold, so new work parks instead of piling onto a
+            # partitioned link.  Parked transactions resume when the
+            # backlog drains (partition healed, retries succeeded).
+            self.net_stats["parked"] += 1
+        while self._draining or self._net_degraded or txn_type in self._paused_types:
             yield from self.admission_condition.wait()
 
     def _run(self, txn):
         charges = txn.charges
         charge_costs = self.options.charge_costs
+        # Degraded mode: with a non-empty message fault plan attached to the
+        # cluster, every protocol round-trip routes through the message
+        # layer's send() with timeout/retry/backoff.  An absent injector or
+        # an empty plan keeps the historical constant-delay path, event for
+        # event — pinned byte-identical by the chaos suite.
+        faults = self.cluster.message_faults
+        chaos = faults is not None and faults.enabled
         # Start phase -------------------------------------------------------
-        if charge_costs:
+        if chaos:
+            yield from self._chaos_start_phase(txn, charges, charge_costs)
+        elif charge_costs:
             if self.options.model_cpu:
                 yield from self._charge_start_phase(charges)
             else:
@@ -255,7 +299,9 @@ class TebaldiEngine:
         result = yield from procedure(context, **txn.args)
         # Validation phase ----------------------------------------------------
         txn.status = TransactionStatus.VALIDATING
-        if charge_costs:
+        if chaos:
+            yield from self._chaos_phase(txn, charges, charge_costs, "validate")
+        elif charge_costs:
             if self.options.model_cpu:
                 yield from self._charge_phase(charges)
             else:
@@ -266,30 +312,34 @@ class TebaldiEngine:
                 yield from step
         self._check_cascading_abort(txn)
         # Commit phase ---------------------------------------------------------
-        if charge_costs:
-            if self.options.model_cpu:
-                yield from self._charge_phase(charges)
-            else:
-                yield Timeout(self.env, charges.phase_delay)
-        for pre_commit_hook in charges.pre_commit_hooks:
-            step = pre_commit_hook(txn)
-            if step is not None:
-                yield from step
-        if self._durable:
-            # Durable precommit and epoch propagation run *before* the
-            # versions become visible: any transaction that reads this one
-            # therefore precommits in the same or a later GCP epoch, so a
-            # durable reader can never survive recovery while its writer
-            # vanishes (cross-crash recoverability of the DSG).
-            self._durable_precommit(txn)
-            if self.durability.halted:
-                # An injected crash fired inside the precommit: the machine
-                # is down and this commit never becomes visible.  Park the
-                # process on an event that never triggers — if the full
-                # precommit set made it to disk first, recovery resurrects
-                # the transaction as a *ghost* (durable, unacknowledged).
-                yield Event(self.env, "crashed")
-        self._commit(txn)
+        if chaos:
+            yield from self._chaos_commit(txn, charges, charge_costs)
+        else:
+            if charge_costs:
+                if self.options.model_cpu:
+                    yield from self._charge_phase(charges)
+                else:
+                    yield Timeout(self.env, charges.phase_delay)
+            for pre_commit_hook in charges.pre_commit_hooks:
+                step = pre_commit_hook(txn)
+                if step is not None:
+                    yield from step
+            if self._durable:
+                # Durable precommit and epoch propagation run *before* the
+                # versions become visible: any transaction that reads this
+                # one therefore precommits in the same or a later GCP epoch,
+                # so a durable reader can never survive recovery while its
+                # writer vanishes (cross-crash recoverability of the DSG).
+                self._durable_precommit(txn)
+                if self.durability.halted:
+                    # An injected crash fired inside the precommit: the
+                    # machine is down and this commit never becomes visible.
+                    # Park the process on an event that never triggers — if
+                    # the full precommit set made it to disk first, recovery
+                    # resurrects the transaction as a *ghost* (durable,
+                    # unacknowledged).
+                    yield Event(self.env, "crashed")
+            self._commit(txn)
         if self._durable:
             delay = self.durability.flush_delay()
             if delay:
@@ -320,6 +370,176 @@ class TebaldiEngine:
         global_epoch = self.durability.precommit(txn, writes)
         txn.global_gcp_epoch = global_epoch
         self.durability.commit_notification(txn, global_epoch)
+
+    # -- degraded mode (message faults) ---------------------------------------
+
+    def _robust_exchange(self, txn, phase, dsts=(0,), round_trips=1,
+                         apply_fn=None, retransmit_fn=None):
+        """Coroutine: one protocol exchange with timeout/retry/backoff.
+
+        ``apply_fn`` runs exactly once, synchronously, the first time the
+        request reaches the servers; duplicated deliveries and retransmits
+        after a lost reply invoke ``retransmit_fn`` instead — the
+        receiver-side dedup path (commit-ticket dedup at the durability
+        layer, idempotent allocation at the timestamp server).  The
+        exchange returns ``apply_fn``'s result once a reply arrives.
+
+        A request that was never applied aborts the transaction after
+        ``net_retry_limit`` failed attempts.  Once applied, the TC retries
+        without bound — the effect may be durable, so abandoning it would
+        manufacture a phantom commit — which terminates because fault
+        plans are finite and partitions heal by time.  Failed attempts
+        enter the retry backlog that drives the admission valve.
+        """
+        options = self.options
+        stats = self.net_stats
+        applied = False
+        result = None
+        attempts = 0
+        backlogged = False
+        try:
+            while True:
+                attempts += 1
+                outcome = yield from self.cluster.send(
+                    dsts=dsts,
+                    phase=phase,
+                    txn_id=txn.txn_id,
+                    round_trips=round_trips,
+                    timeout=options.net_phase_timeout,
+                )
+                if outcome.request_reached:
+                    if not applied:
+                        result = apply_fn() if apply_fn is not None else None
+                        applied = True
+                        if outcome.duplicated:
+                            stats["duplicate_deliveries"] += 1
+                            if retransmit_fn is not None:
+                                retransmit_fn()
+                    else:
+                        stats["retransmit_applies"] += 1
+                        if retransmit_fn is not None:
+                            retransmit_fn()
+                if outcome.delivered:
+                    return result
+                stats["retries"] += 1
+                if not applied and attempts > options.net_retry_limit:
+                    stats["unreachable_aborts"] += 1
+                    raise TransactionAborted(txn.txn_id, f"net-unreachable-{phase}")
+                if not backlogged:
+                    backlogged = True
+                    self._net_backlog += 1
+                    if (
+                        not self._net_degraded
+                        and self._net_backlog >= options.net_park_threshold
+                    ):
+                        self._net_degraded = True
+                        stats["degraded_windows"] += 1
+                delay = min(
+                    options.net_backoff_base * (2 ** min(attempts - 1, 6)),
+                    options.net_backoff_cap,
+                )
+                # Seeded deterministic "randomization": spreads concurrent
+                # retries apart without forfeiting reproducibility.
+                delay *= 0.5 + self._net_rng.random()
+                yield Timeout(self.env, delay)
+        finally:
+            if backlogged:
+                self._net_backlog -= 1
+                if (
+                    self._net_degraded
+                    and self._net_backlog <= options.net_park_threshold // 2
+                ):
+                    # Hysteresis: reopen admission only once the backlog
+                    # drained to half the threshold, not at the first lull.
+                    self._net_degraded = False
+                    self.admission_condition.notify_all()
+
+    def _chaos_start_phase(self, txn, charges, charge_costs):
+        """Start phase over the message layer: one TC/DS round-trip plus,
+        for CCs that use the centralized timestamp server (SSI, TSO), the
+        timestamp request — idempotent at the server, so a duplicated or
+        retransmitted request cannot burn a second timestamp."""
+        if charge_costs:
+            if self.options.model_cpu:
+                yield from self.cluster.compute(charges.phase_cost)
+            else:
+                yield Timeout(self.env, charges.phase_cost)
+        yield from self._robust_exchange(txn, "start")
+        if charges.start_rtts:
+            token = ("timestamp", txn.txn_id)
+            allocate = lambda: self.oracle.next_for(token)
+            yield from self._robust_exchange(
+                txn,
+                "timestamp",
+                dsts=(TIMESTAMP_SERVER,),
+                round_trips=charges.start_rtts,
+                apply_fn=allocate,
+                retransmit_fn=allocate,
+            )
+            self.oracle.release(token)
+
+    def _chaos_phase(self, txn, charges, charge_costs, phase):
+        """A non-commit phase (validation) over the message layer."""
+        if charge_costs:
+            if self.options.model_cpu:
+                yield from self.cluster.compute(charges.phase_cost)
+            else:
+                yield Timeout(self.env, charges.phase_cost)
+        yield from self._robust_exchange(txn, phase)
+
+    def _chaos_commit(self, txn, charges, charge_costs):
+        """Commit phase over the message layer.
+
+        The commit request is one robust exchange whose server-side apply
+        — cascading-abort check, pre-commit validation hooks, durable
+        precommit and the installation of the versions — runs synchronously
+        at delivery, preserving the no-interleaving guarantee OCC's
+        backward validation relies on.  Retransmits after a lost reply and
+        duplicated deliveries re-enter only the durability layer, whose
+        commit-ticket dedup must absorb them (apply exactly once).
+        """
+        if charge_costs:
+            if self.options.model_cpu:
+                yield from self.cluster.compute(charges.phase_cost)
+            else:
+                yield Timeout(self.env, charges.phase_cost)
+        durable = self._durable
+        if durable:
+            writes = [(key, txn.writes[key]) for key in txn.write_order]
+            participants = self.durability.participants_for(writes)
+            retransmit = lambda: self.durability.precommit(txn, writes)
+        else:
+            writes = None
+            participants = (0,)
+            retransmit = None
+
+        def apply():
+            self._check_cascading_abort(txn)
+            for pre_commit_hook in charges.pre_commit_hooks:
+                step = pre_commit_hook(txn)
+                if step is not None:
+                    raise ConfigurationError(
+                        "degraded mode requires synchronous pre_commit hooks"
+                    )
+            if durable:
+                global_epoch = self.durability.precommit(txn, writes)
+                txn.global_gcp_epoch = global_epoch
+                self.durability.commit_notification(txn, global_epoch)
+                if self.durability.halted:
+                    return
+            self._commit(txn)
+
+        yield from self._robust_exchange(
+            txn,
+            "precommit",
+            dsts=participants,
+            apply_fn=apply,
+            retransmit_fn=retransmit,
+        )
+        if durable and self.durability.halted:
+            # A crash fired inside the precommit: the machine is down and
+            # this commit never became visible (see the plain path above).
+            yield Event(self.env, "crashed")
 
     def _finish_abort(self, txn, reason):
         txn.status = TransactionStatus.ABORTED

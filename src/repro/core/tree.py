@@ -269,7 +269,10 @@ class Route:
 def build_routes(leaf_by_type, cluster, transaction_types=None):
     """Compile the per-type :class:`Route` table for a runtime tree."""
     costs = cluster.costs
-    rtt = cluster.network.round_trip()
+    # The base rtt, not a round_trip() sample: routes precompute per-phase
+    # delay constants, and a jitter draw taken here would be frozen into
+    # every transaction of the type instead of varying per message.
+    rtt = cluster.network.rtt
     transaction_types = transaction_types or {}
     return {
         txn_type: Route(

@@ -21,13 +21,16 @@ Examples::
     python -m repro.harness --all --quick --workers 4
     python -m repro.harness --workload queue --faults 1 --quick
     python -m repro.harness --all --faults 2 --quick
+    python -m repro.harness --workload queue --net-faults 4 --quick
+    python -m repro.harness --all --net-faults 2 --quick
 """
 
 import argparse
 import sys
 
-from repro.harness.configs import CRASH_CELLS, WORKLOAD_CONFIGURATIONS
+from repro.harness.configs import CHAOS_CELLS, CRASH_CELLS, WORKLOAD_CONFIGURATIONS
 from repro.harness.crash import run_crash_benchmark
+from repro.harness.degraded import run_degraded_benchmark
 from repro.harness.parallel import available_workers, derive_point_seed, run_tasks
 from repro.harness.report import format_run_results
 from repro.harness.runner import run_benchmark
@@ -130,6 +133,15 @@ def build_parser():
         ),
     )
     parser.add_argument(
+        "--net-faults", type=int, default=0, metavar="N",
+        help=(
+            "degraded mode: inject N seeded message faults per cell (drops, "
+            "delay spikes, duplicates, reorders, partition-and-heal; "
+            "timeout/retry/backoff on every protocol exchange, oracle "
+            "spanning the fault window); restricted to the chaos registry"
+        ),
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="tiny smoke run (8 clients, 0.3s measured, 0.1s warmup)",
     )
@@ -220,6 +232,98 @@ def _run_crash_cells(args, parser):
     return 0
 
 
+def _make_net_cell_task(args, workload_name, config_name, clients, duration):
+    def cell():
+        workload = build_workload(workload_name, ycsb_profile=args.ycsb_profile)
+        configuration = WORKLOAD_CONFIGURATIONS[workload_name][config_name]()
+        seed = derive_point_seed(args.seed, workload_name, config_name, clients)
+        # With room for two or more fault points, pin the two acceptance
+        # scenarios — at least one drop-with-retry and one
+        # partition-and-heal window — into every cell's plan.
+        require = ("drop", "partition") if args.net_faults >= 2 else ("drop",)
+        result = run_degraded_benchmark(
+            workload,
+            configuration,
+            clients=clients,
+            duration=duration,
+            seed=seed,
+            faults=args.net_faults,
+            require=require,
+            isolation_level=args.level,
+            history_window=args.history_window,
+            raise_on_violation=False,
+        )
+        # The recorder is process-local diagnostics; don't ship it back
+        # through the worker-pool pickle.
+        result.extra.pop("recorder", None)
+        return result
+    return cell
+
+
+def _run_net_fault_cells(args, parser):
+    """Degraded mode: sweep the chaos registry with seeded message faults."""
+    workload_names = sorted(CHAOS_CELLS) if args.all else [args.workload]
+    cells = []
+    for workload_name in workload_names:
+        registered = CHAOS_CELLS[workload_name]
+        configurations = WORKLOAD_CONFIGURATIONS[workload_name]
+        config_names = (args.config if not args.all else None) or list(registered)
+        unknown = [name for name in config_names if name not in configurations]
+        if unknown:
+            parser.error(
+                f"unknown configuration(s) {unknown} for {workload_name}; "
+                f"available: {sorted(configurations)}"
+            )
+        for config_name in config_names:
+            for clients in args.clients if not args.quick else [8]:
+                cells.append((workload_name, config_name, clients))
+    duration = 0.5 if args.quick else args.duration
+    workers = args.workers if args.workers is not None else available_workers()
+    tasks = [
+        _make_net_cell_task(args, workload_name, config_name, clients, duration)
+        for workload_name, config_name, clients in cells
+    ]
+    results = run_tasks(tasks, workers=workers)
+
+    violations = []
+    for (workload_name, config_name, clients), result in zip(cells, results):
+        report = result.extra["isolation"]
+        if report.ok and not result.violations:
+            status = f"isolation OK across {len(result.fault_log)} fault(s)"
+        else:
+            status = "VIOLATION: " + (
+                report.describe() if not report.ok else str(result.violations)
+            )
+            violations.append((workload_name, config_name, clients, status))
+        net = result.net_stats
+        print(
+            f"{workload_name}/{config_name} clients={clients}: "
+            f"{result.commits} commits, {result.aborts} aborts — {status}"
+        )
+        fired = ", ".join(
+            f"{fault['kind']}@{fault['time']:.4f}s" for fault in result.fault_log
+        )
+        degradation = (
+            f"retries={net['retries']} retransmits={net['retransmit_applies']} "
+            f"parked={net['parked']} degraded-windows={net['degraded_windows']}"
+        )
+        print(f"    faults: {fired or 'none fired'}; {degradation}")
+
+    if violations:
+        print(f"\n{len(violations)} degraded-cell violation(s):", file=sys.stderr)
+        for workload_name, config_name, clients, status in violations:
+            print(
+                f"  {workload_name}/{config_name} clients={clients}: {status}",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"\nall {len(results)} degraded-mode checked runs passed the oracle "
+        f"and the exactly-once/durability checks at level={args.level!r}"
+    )
+    return 0
+
+
 def _make_cell_task(args, workload_name, config_name, clients, duration, warmup, check):
     def cell():
         workload = build_workload(workload_name, ycsb_profile=args.ycsb_profile)
@@ -264,6 +368,15 @@ def main(argv=None):
         parser.error(f"--warmup must be non-negative, got {args.warmup}")
     if args.faults < 0:
         parser.error(f"--faults must be a non-negative integer, got {args.faults}")
+    if args.net_faults < 0:
+        parser.error(
+            f"--net-faults must be a non-negative integer, got {args.net_faults}"
+        )
+    if args.faults and args.net_faults:
+        parser.error(
+            "--faults (crashes) and --net-faults (message faults) are "
+            "separate modes; pick one per invocation"
+        )
     if args.faults:
         if args.no_check:
             parser.error("--faults needs the oracle in the loop; drop --no-check")
@@ -273,6 +386,15 @@ def main(argv=None):
                 f"got --workload {args.workload}"
             )
         return _run_crash_cells(args, parser)
+    if args.net_faults:
+        if args.no_check:
+            parser.error("--net-faults needs the oracle in the loop; drop --no-check")
+        if args.workload is not None and args.workload not in CHAOS_CELLS:
+            parser.error(
+                f"--net-faults is registered for {sorted(CHAOS_CELLS)}; "
+                f"got --workload {args.workload}"
+            )
+        return _run_net_fault_cells(args, parser)
 
     workload_names = sorted(WORKLOAD_CONFIGURATIONS) if args.all else [args.workload]
     cells = []

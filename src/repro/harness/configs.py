@@ -588,3 +588,18 @@ CRASH_CELLS = {
     "queue": ("2pl", "ssi", "2layer", "3layer"),
     "smallbank": ("2pl", "ssi", "2layer", "3layer"),
 }
+
+#: workload name -> configuration names registered for degraded-mode checked
+#: runs under seeded *message* faults (``python -m repro.harness
+#: --net-faults N`` and the network-chaos test suite).  The queue workload
+#: is again the flagship (exactly-once dequeue under duplicated and
+#: reordered commit traffic); smallbank exercises multi-participant
+#: precommits (transfers span durability servers) and ycsb-zipf adds a
+#: skewed-contention profile.  Each sweeps a monolithic tree and the
+#: hierarchical 2/3-layer trees so retries and the admission valve run
+#: under every CC family the paper composes.
+CHAOS_CELLS = {
+    "queue": ("2pl", "ssi", "2layer", "3layer"),
+    "smallbank": ("2pl", "2layer", "3layer"),
+    "ycsb-zipf": ("2pl", "2layer", "3layer"),
+}

@@ -1,0 +1,300 @@
+"""Degraded-mode harness: run a workload through seeded *message* faults —
+drops, delay spikes, duplicates, reorders, partition-and-heal — with the
+isolation oracle attached, and prove the TC/DS protocol stays correct.
+
+Sibling of :mod:`repro.harness.crash` (which kills the whole machine): here
+the machine stays up but the network misbehaves, so the properties at stake
+are different:
+
+* **committed means durable and visible** — every committed transaction
+  with writes has a complete durable precommit set, and replaying the
+  durable log reproduces exactly the store's latest committed state;
+* **exactly-once application** — a duplicated delivery or a retransmit
+  after a lost reply re-enters the durability layer, whose commit-ticket
+  dedup must absorb it: one ticket per transaction, ever
+  (:func:`retransmit_violations` scans the persistent log for txns that
+  minted more than one);
+* **no phantom commits** — a retransmitted commit must not commit twice
+  (``HistoryRecorder.duplicate_commits`` stays empty) and the queue
+  workload's exactly-once dequeue invariant holds across the fault window;
+* **graceful degradation** — when retry queues back up past the admission
+  valve's threshold the engine parks new transactions and recovers once
+  the partition heals; the whole run (pre-, intra- and post-degradation)
+  is recorded as **one** history and checked as a single DSG.
+
+Everything derives from the run seed (fault plan, backoff jitter, client
+RNGs), so a failing run reproduces byte-identically.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import EngineOptions, TebaldiEngine
+from repro.errors import TransactionAborted
+from repro.harness.crash import exactly_once_violations
+from repro.harness.parallel import derive_point_seed
+from repro.isolation.checker import check_recorder
+from repro.isolation.history import HistoryRecorder
+from repro.sim.environment import Environment
+from repro.sim.faults import MessageFaultInjector, MessageFaultPlan
+from repro.storage.durability import DurabilityConfig, DurabilityManager
+from repro.storage.mvstore import MultiVersionStore
+
+
+def default_degraded_durability():
+    """Durability settings for degraded-mode cells: synchronous flushing,
+    so a committed transaction is durable the moment its precommit returns
+    and the committed-means-durable check needs no epoch race reasoning."""
+    return DurabilityConfig(
+        enabled=True,
+        asynchronous=False,
+        num_servers=4,
+    )
+
+
+def default_degraded_options(seed=7):
+    """Chaos-tuned engine options: tight timeouts and a low valve threshold
+    so sub-second runs actually exercise retry, backoff and degradation."""
+    return EngineOptions(
+        net_phase_timeout=0.002,
+        net_retry_limit=8,
+        net_backoff_base=0.0004,
+        net_backoff_cap=0.0064,
+        net_backoff_seed=seed,
+        net_park_threshold=6,
+    )
+
+
+def retransmit_violations(manager):
+    """Transactions that minted more than one precommit ticket.
+
+    The durable log is the ground truth for exactly-once application: the
+    coordinator may retransmit a precommit any number of times (duplicated
+    delivery, lost reply), but the durability layer's commit-ticket dedup
+    must absorb every repeat — one ticket, one record set, ever.  A broken
+    dedup shows up here as a second ticket over the same transaction (the
+    mutation test flips ``DurabilityManager.dedup_enabled`` off and expects
+    this to light up).  Returns ``{txn_id: sorted ticket list}``.
+    """
+    tickets = {}
+    for log in manager.logs:
+        for record in log.persisted_records():
+            if record.kind != "precommit":
+                continue
+            ticket = record.payload.get("ticket")
+            tickets.setdefault(record.txn_id, set()).add(ticket)
+    return {
+        txn_id: sorted(seen)
+        for txn_id, seen in tickets.items()
+        if len(seen) > 1
+    }
+
+
+@dataclass
+class DegradedRunResult:
+    """Outcome of one checked run under message faults."""
+
+    configuration: str
+    clients: int
+    duration: float
+    commits: int
+    aborts: int
+    throughput: float
+    fault_log: list = field(default_factory=list)
+    net_stats: dict = field(default_factory=dict)
+    violations: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    def __repr__(self):
+        return (
+            f"<DegradedRunResult {self.configuration} clients={self.clients} "
+            f"commits={self.commits} faults={len(self.fault_log)}>"
+        )
+
+
+class DegradedRunner:
+    """Drives a workload through seeded message faults with the oracle on."""
+
+    def __init__(
+        self,
+        workload,
+        configuration,
+        seed=7,
+        options=None,
+        fault_plan=None,
+        durability=None,
+        isolation_level="serializable",
+        history_window=None,
+        dedup_enabled=True,
+    ):
+        self.workload = workload
+        self.configuration = configuration
+        self.seed = seed
+        self.options = options or default_degraded_options(seed)
+        #: Mutation-test hook: ``False`` disables the durability layer's
+        #: commit-ticket dedup, which the suite must then catch via
+        #: :func:`retransmit_violations`.
+        self.dedup_enabled = dedup_enabled
+        self.durability_config = durability or default_degraded_durability()
+        self.plan = (
+            fault_plan
+            if fault_plan is not None
+            else MessageFaultPlan.from_seed(seed)
+        )
+        self.injector = MessageFaultInjector(self.plan)
+        self.isolation_level = isolation_level
+        self.recorder = HistoryRecorder(
+            max_transactions=history_window, level=isolation_level
+        )
+
+    def _client(self, env, engine, stop_event, rng, mix, client_id):
+        backoff = self.options.retry_backoff
+        while not stop_event.triggered:
+            txn_type, args = self.workload.next_transaction(rng, mix)
+            attempts = 0
+            while not stop_event.triggered:
+                attempts += 1
+                try:
+                    yield from engine.execute_transaction(txn_type, args, client_id)
+                    break
+                except TransactionAborted:
+                    engine.stats.record_retry(None)
+                    if backoff > 0:
+                        delay = min(backoff * (2 ** min(attempts - 1, 5)), 0.1)
+                        yield env.timeout(delay)
+
+    def run(self, clients, duration=0.5, raise_on_violation=True):
+        """One checked run across the whole fault plan.
+
+        Returns a :class:`DegradedRunResult`; with ``raise_on_violation``
+        (the default) any oracle violation, duplicate application or
+        durability mismatch raises instead of being returned quietly.
+        """
+        manager = DurabilityManager(self.durability_config)
+        manager.dedup_enabled = self.dedup_enabled
+        store = MultiVersionStore()
+        self.workload.populate(store)
+        env = Environment()
+        engine = TebaldiEngine(
+            env,
+            self.configuration,
+            self.workload.transaction_types(),
+            store=store,
+            options=self.options,
+            durability=manager,
+        )
+        engine.cluster.message_faults = self.injector
+        engine.history_recorder = self.recorder
+        stop_event = env.event(name="stop")
+        engine.start_services(stop_event)
+        mix = self.workload.validate_mix(self.workload.mix())
+        for client_id in range(clients):
+            rng = self.workload.make_rng(
+                derive_point_seed(self.seed, "net-client", 0, client_id)
+            )
+            env.process(
+                self._client(env, engine, stop_event, rng, mix, client_id),
+                name=f"client-{client_id}",
+            )
+        env.run(until=duration)
+        summary = engine.stats.summary()
+        report = check_recorder(self.recorder, level=self.isolation_level)
+
+        violations = {}
+        duplicate_tickets = retransmit_violations(manager)
+        if duplicate_tickets:
+            violations["duplicate_tickets"] = duplicate_tickets
+        if self.recorder.duplicate_commits:
+            violations["duplicate_commits"] = list(
+                self.recorder.duplicate_commits
+            )
+        history = self.recorder.history()
+        if self.workload.name == "queue":
+            double_dequeues = exactly_once_violations(history)
+            if double_dequeues:
+                violations["double_dequeues"] = double_dequeues
+
+        # Committed means durable and visible: replaying the persistent log
+        # must recover exactly the committed writers, and the recovered
+        # values must match the store's latest committed state.
+        recovery = manager.recover()
+        committed_writers = {
+            txn.txn_id for txn in history.transactions.values() if txn.writes
+        }
+        not_durable = committed_writers - recovery.recovered_transactions
+        if not_durable:
+            violations["committed_not_durable"] = sorted(not_durable)
+        phantom_durable = (
+            recovery.recovered_transactions - set(engine.committed_ids)
+        )
+        if phantom_durable:
+            violations["durable_not_committed"] = sorted(phantom_durable)
+        latest = store.latest_state()
+        stale = {
+            key: (value, latest.get(key))
+            for key, value in recovery.state.items()
+            if recovery.state_writers.get(key, 0) != 0
+            and latest.get(key) != value
+        }
+        if stale:
+            violations["recovered_state_mismatch"] = stale
+
+        result = DegradedRunResult(
+            configuration=self.configuration.name,
+            clients=clients,
+            duration=duration,
+            commits=summary["commits"],
+            aborts=summary["aborts"],
+            throughput=summary["commits"] / duration if duration > 0 else 0.0,
+            fault_log=list(self.injector.fault_log),
+            net_stats=dict(engine.net_stats),
+            violations=violations,
+            extra={
+                "isolation": report,
+                "recorder": self.recorder,
+                "injector_stats": dict(self.injector.stats),
+                "pending_faults": self.injector.has_pending(),
+            },
+        )
+        if raise_on_violation:
+            report.raise_on_violation()
+            if violations:
+                raise AssertionError(
+                    f"degraded-mode violations in {self.configuration.name}: "
+                    f"{violations}"
+                )
+        return result
+
+
+def run_degraded_benchmark(
+    workload,
+    configuration,
+    clients,
+    duration=0.5,
+    seed=7,
+    faults=4,
+    require=("drop", "partition"),
+    fault_plan=None,
+    raise_on_violation=True,
+    **kwargs,
+):
+    """One-shot helper: seeded message-fault checked run.
+
+    ``fault_plan`` overrides the seed-derived plan; ``faults`` sets how many
+    seeded fault points the derived plan contains and ``require`` pins fault
+    kinds that must appear (by default at least one drop-with-retry and one
+    partition-and-heal window, the two acceptance scenarios).
+    """
+    if fault_plan is None:
+        fault_plan = MessageFaultPlan.from_seed(
+            seed, faults=faults, require=require
+        )
+    runner = DegradedRunner(
+        workload,
+        configuration,
+        seed=seed,
+        fault_plan=fault_plan,
+        **kwargs,
+    )
+    return runner.run(
+        clients, duration=duration, raise_on_violation=raise_on_violation
+    )

@@ -165,6 +165,10 @@ class HistoryRecorder:
         self._aborted_ids = OrderedDict()
         self._evicted = False
         self.recorded_commits = 0
+        #: Transaction ids committed more than once — a phantom commit
+        #: (e.g. a retransmitted commit applied twice by a broken dedup).
+        #: Must stay empty; the degraded harness asserts on it.
+        self.duplicate_commits = []
         #: True once on_crash() stitched a crash into this recorder; the
         #: checker then complements the streaming verdict with the
         #: aborted/intermediate-read passes over the retained records.
@@ -172,6 +176,11 @@ class HistoryRecorder:
 
     def on_commit(self, txn, versions):
         """Record one committed transaction and its installed versions."""
+        if txn.txn_id in self._records:
+            # A second commit of the same transaction would silently
+            # overwrite the first record; flag it loudly instead — no
+            # engine path may commit twice, retransmits included.
+            self.duplicate_commits.append(txn.txn_id)
         writes = []
         orders = self._version_orders
         for version in versions:

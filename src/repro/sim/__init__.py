@@ -12,8 +12,15 @@ instances; ``yield from`` composes sub-coroutines.
 
 from repro.sim.environment import Environment
 from repro.sim.events import Event, Interrupt, Timeout
+from repro.sim.faults import (
+    FaultInjector,
+    FaultPlan,
+    MessageFault,
+    MessageFaultInjector,
+    MessageFaultPlan,
+)
 from repro.sim.resources import Condition, Resource, WaitQueue
-from repro.sim.network import NetworkModel
+from repro.sim.network import ClusterModel, Delivery, LinkState, NetworkModel
 
 __all__ = [
     "Environment",
@@ -23,5 +30,13 @@ __all__ = [
     "Condition",
     "Resource",
     "WaitQueue",
+    "ClusterModel",
+    "Delivery",
+    "LinkState",
     "NetworkModel",
+    "FaultInjector",
+    "FaultPlan",
+    "MessageFault",
+    "MessageFaultInjector",
+    "MessageFaultPlan",
 ]

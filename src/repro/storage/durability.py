@@ -68,6 +68,14 @@ class DurabilityManager:
         self._persistent_gcp_epoch = 0
         self._durable_waiters = defaultdict(list)
         self._precommit_ticket = count(1)
+        # Retransmit dedup: txn id -> global epoch of the already-applied
+        # precommit.  A duplicated or retried precommit request must apply
+        # exactly once (one ticket, one record set); the flag exists so the
+        # chaos suite's mutation test can break the dedup and prove the
+        # harness catches the resulting double-apply.
+        self.dedup_enabled = True
+        self._precommit_epochs = {}
+        self.duplicate_precommits = 0
         self.records_written = 0
         #: Optional FaultInjector; assigned by the crash harness.
         self.faults = faults
@@ -95,6 +103,14 @@ class DurabilityManager:
         survivor sets to reproduce from a seed.
         """
         return zlib.crc32(repr(key).encode("utf-8")) % self.config.num_servers
+
+    def participants_for(self, writes):
+        """Sorted participant server ids of a write set (``(0,)`` if empty).
+
+        The coordinator addresses its precommit exchange to exactly these
+        servers, so a partition over any participant stalls the commit."""
+        servers = {self.server_for(key) for key, _value in writes}
+        return tuple(sorted(servers)) if servers else (0,)
 
     def current_epoch(self, server_id):
         return self._current_gcp_epoch[server_id]
@@ -145,9 +161,19 @@ class DurabilityManager:
         In synchronous mode each record is flushed as it is appended; a
         crash injected between records leaves a durable *torn* precommit
         set, which recovery must discard.
+
+        The call is *idempotent* per transaction: a retransmitted or
+        duplicated precommit request returns the already-assigned global
+        epoch without allocating a new ticket or appending new records,
+        so a reply lost on the wire cannot double-apply the commit.
         """
         if not self.enabled or self._halted:
             return 0
+        if self.dedup_enabled:
+            cached = self._precommit_epochs.get(txn.txn_id)
+            if cached is not None:
+                self.duplicate_precommits += 1
+                return cached
         by_server = defaultdict(list)
         for key, value in writes:
             by_server[self.server_for(key)].append((encode_key(key), value))
@@ -185,6 +211,7 @@ class DurabilityManager:
             self._persistent_gcp_epoch = max(
                 self._persistent_gcp_epoch, global_epoch
             )
+        self._precommit_epochs[txn.txn_id] = global_epoch
         self._trip("precommit-done", txn_id=txn.txn_id)
         return global_epoch
 
@@ -263,6 +290,10 @@ class DurabilityManager:
         for log in self.logs:
             log.crash()
         self._durable_waiters.clear()
+        # The dedup table is volatile.  Losing it is benign: a post-crash
+        # retransmit appends a fresh record set with a fresh ticket over the
+        # *same* writes, and per-key last-ticket-wins replay converges.
+        self._precommit_epochs.clear()
         self._halted = False
         resume = self._persistent_gcp_epoch + 1
         self._current_gcp_epoch = [resume] * self.config.num_servers

@@ -1,0 +1,713 @@
+"""Network chaos for the TC/DS protocol: message faults, timeout/retry/
+backoff, and graceful degradation under the oracle.
+
+Four layers of coverage:
+
+* unit tests for the message fault plan/injector (determinism, validation,
+  gap scheduling, phase targeting, partition windows) and the jittered
+  network model (seeded determinism, jitter=0 byte-compat, parameter
+  validation);
+* unit tests for retry idempotency at the receivers: commit-ticket dedup in
+  the durability layer, idempotent allocation at the timestamp server, and
+  the engine's robust-exchange semantics (drop-then-retry commits once,
+  lost replies apply exactly once, unreachable servers abort cleanly);
+* the admission valve: a long partition backs the retry queues up past the
+  threshold, new transactions park, and the engine recovers when the
+  partition heals — all in one checked history;
+* fixed-seed end-to-end scenarios: every chaos cell (queue, smallbank,
+  ycsb-zipf x monolithic/2-layer/3-layer trees) runs through at least one
+  drop-with-retry and one partition-and-heal window and passes the oracle
+  plus the exactly-once/durability checks; an adversarial duplication+
+  reorder storm aimed at the commit exchange cannot double-dequeue; a
+  deliberately broken dedup is caught; an attached-but-empty fault plan is
+  byte-identical to no injector at all; plus a randomized soak behind the
+  ``slow`` marker.
+"""
+
+import pytest
+
+from repro.cc.timestamps import TimestampOracle
+from repro.core.engine import EngineOptions, TebaldiEngine
+from repro.errors import ConfigurationError, TransactionAborted
+from repro.harness.cli import build_workload, main as harness_main
+from repro.harness.configs import CHAOS_CELLS, WORKLOAD_CONFIGURATIONS
+from repro.harness.degraded import (
+    DegradedRunner,
+    default_degraded_durability,
+    default_degraded_options,
+    retransmit_violations,
+    run_degraded_benchmark,
+)
+from repro.sim.environment import Environment
+from repro.sim.faults import (
+    MESSAGE_FAULT_KINDS,
+    MessageFault,
+    MessageFaultInjector,
+    MessageFaultPlan,
+)
+from repro.sim.network import TIMESTAMP_SERVER, ClusterModel, NetworkModel
+from repro.storage.durability import DurabilityManager
+from repro.storage.mvstore import MultiVersionStore
+from repro.workloads.queue import QueueWorkload
+
+
+# ---------------------------------------------------------------------------
+# Fault plans and the injector
+# ---------------------------------------------------------------------------
+
+
+class TestMessageFaultPlan:
+    def test_from_seed_is_deterministic(self):
+        first = MessageFaultPlan.from_seed(42, faults=5)
+        second = MessageFaultPlan.from_seed(42, faults=5)
+        assert first == second
+        assert len(first) == 5
+        assert all(p.kind in MESSAGE_FAULT_KINDS for p in first.points)
+
+    def test_different_seeds_differ(self):
+        plans = {MessageFaultPlan.from_seed(seed, faults=6) for seed in range(8)}
+        assert len(plans) > 1
+
+    def test_require_pins_kinds_without_shifting_the_stream(self):
+        plain = MessageFaultPlan.from_seed(7, faults=4)
+        pinned = MessageFaultPlan.from_seed(7, faults=4, require=("drop", "partition"))
+        assert pinned.points[0].kind == "drop"
+        assert pinned.points[1].kind == "partition"
+        # Every drawn attribute other than the pinned kind is unchanged.
+        for before, after in zip(plain.points, pinned.points):
+            assert before.occurrence == after.occurrence
+            assert before.magnitude == after.magnitude
+            assert before.duration == after.duration
+            assert before.lost_reply == after.lost_reply
+        assert plain.points[2:] == pinned.points[2:]
+
+    def test_require_extends_short_plans(self):
+        plan = MessageFaultPlan.from_seed(7, faults=0, require=("drop", "partition"))
+        assert [p.kind for p in plan.points] == ["drop", "partition"]
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            MessageFault(kind="gremlin")
+        with pytest.raises(ValueError):
+            MessageFault(kind="drop", occurrence=0)
+        with pytest.raises(ValueError):
+            MessageFault(kind="delay", magnitude=0)
+        with pytest.raises(ValueError):
+            MessageFault(kind="partition", duration=-1.0)
+        with pytest.raises(ValueError):
+            MessageFaultPlan.from_seed(7, faults=-1)
+
+
+class TestMessageFaultInjector:
+    def test_empty_plan_is_disabled(self):
+        injector = MessageFaultInjector(MessageFaultPlan())
+        assert not injector.enabled
+        assert not injector.has_pending()
+        assert injector.disposition(0.0, (0,), "start") is None
+
+    def test_gap_scheduling_counts_sends(self):
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="drop", occurrence=3),
+            MessageFault(kind="delay", occurrence=2),
+        ))
+        injector = MessageFaultInjector(plan)
+        assert injector.disposition(0.0, (0,), "start") is None
+        assert injector.disposition(0.0, (0,), "start") is None
+        third = injector.disposition(0.0, (0,), "start")
+        assert third is not None and third.kind == "drop"
+        # The gap resets: the next point needs two more counted sends.
+        assert injector.disposition(0.0, (0,), "start") is None
+        fifth = injector.disposition(0.0, (0,), "start")
+        assert fifth is not None and fifth.kind == "delay"
+        assert not injector.has_pending()
+
+    def test_phase_filter_keeps_the_point_armed(self):
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="duplicate", occurrence=1, phases=("precommit",)),
+        ))
+        injector = MessageFaultInjector(plan)
+        # Gap reached, but the phase does not match: stays armed, no fire.
+        assert injector.disposition(0.0, (0,), "start") is None
+        assert injector.disposition(0.0, (0,), "validate") is None
+        fired = injector.disposition(0.0, (0,), "precommit")
+        assert fired is not None and fired.kind == "duplicate"
+
+    def test_partition_window_does_not_consume_points(self):
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="partition", occurrence=1, duration=0.5),
+            MessageFault(kind="drop", occurrence=1),
+        ))
+        injector = MessageFaultInjector(plan)
+        fired = injector.disposition(0.0, (0, 1), "precommit")
+        assert fired.kind == "partition"
+        assert injector.partitioned_until(0) == pytest.approx(0.5)
+        assert injector.partitioned_until(1) == pytest.approx(0.5)
+        # Inside the window: every touching send fails as a partition but
+        # the second planned point is still pending.
+        inside = injector.disposition(0.25, (0,), "start")
+        assert inside.kind == "partition"
+        assert injector.has_pending()
+        assert injector.stats["partitioned_sends"] == 1
+        # Healed: the drop point fires on the next counted send.
+        after = injector.disposition(0.75, (0,), "start")
+        assert after is not None and after.kind == "drop"
+        assert not injector.has_pending()
+
+    def test_fault_log_records_partition_heal_time(self):
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="partition", occurrence=1, duration=0.25),
+        ))
+        injector = MessageFaultInjector(plan)
+        injector.disposition(1.0, (2,), "precommit")
+        (entry,) = injector.fault_log
+        assert entry["kind"] == "partition"
+        assert entry["heals_at"] == pytest.approx(1.25)
+
+
+# ---------------------------------------------------------------------------
+# Network model: jitter, validation, the send() message layer
+# ---------------------------------------------------------------------------
+
+
+class TestNetworkModel:
+    def test_zero_jitter_is_exact_and_never_draws(self):
+        network = NetworkModel(rtt=100e-6, jitter=0.0, seed=9)
+        for _ in range(5):
+            assert network.round_trip() == 100e-6
+        # The RNG is lazily created on the first non-zero draw; with
+        # jitter pinned to 0.0 it must never exist at all.
+        assert network._rng is None
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        first = NetworkModel(rtt=100e-6, jitter=50e-6, seed=3)
+        second = NetworkModel(rtt=100e-6, jitter=50e-6, seed=3)
+        draws_a = [first.round_trip() for _ in range(20)]
+        draws_b = [second.round_trip() for _ in range(20)]
+        assert draws_a == draws_b
+        assert all(100e-6 <= draw <= 150e-6 for draw in draws_a)
+        assert len(set(draws_a)) > 1
+        other = NetworkModel(rtt=100e-6, jitter=50e-6, seed=4)
+        assert [other.round_trip() for _ in range(20)] != draws_a
+
+    def test_negative_parameters_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(rtt=-1e-6)
+        with pytest.raises(ConfigurationError):
+            NetworkModel(timestamp_rtt=-1e-6)
+        with pytest.raises(ConfigurationError):
+            NetworkModel(jitter=-1e-6)
+
+    def test_negative_round_trip_counts_are_rejected(self):
+        env = Environment()
+        cluster = ClusterModel(env)
+        with pytest.raises(ConfigurationError):
+            next(cluster.network_delay(-1))
+        with pytest.raises(ConfigurationError):
+            next(cluster.send(round_trips=0))
+
+
+def run_sends(plan, sends, network=None):
+    """Drive ``sends`` (kwargs dicts) through one cluster; return deliveries."""
+    env = Environment()
+    cluster = ClusterModel(env, network=network or NetworkModel())
+    if plan is not None:
+        cluster.message_faults = MessageFaultInjector(plan)
+    deliveries = []
+
+    def driver():
+        for kwargs in sends:
+            outcome = yield from cluster.send(**kwargs)
+            deliveries.append(outcome)
+
+    env.process(driver(), name="driver")
+    env.run()
+    return env, cluster, deliveries
+
+
+class TestMessageLayer:
+    def test_clean_send_delivers_at_base_rtt(self):
+        env, cluster, (outcome,) = run_sends(None, [{"dsts": (0,)}])
+        assert outcome.delivered and outcome.request_reached
+        assert outcome.delay == pytest.approx(cluster.network.rtt)
+        assert env.now == pytest.approx(cluster.network.rtt)
+        link = cluster.link(0)
+        assert (link.sent, link.delivered, link.dropped) == (1, 1, 0)
+
+    def test_timestamp_sends_use_timestamp_rtt(self):
+        network = NetworkModel(rtt=100e-6, timestamp_rtt=300e-6)
+        _env, _cluster, (outcome,) = run_sends(
+            None, [{"dsts": (TIMESTAMP_SERVER,)}], network=network
+        )
+        assert outcome.delay == pytest.approx(300e-6)
+
+    def test_drop_times_out_without_reaching(self):
+        plan = MessageFaultPlan(points=(MessageFault(kind="drop", occurrence=1),))
+        _env, cluster, (outcome,) = run_sends(plan, [{"dsts": (0,)}])
+        assert not outcome.delivered and not outcome.request_reached
+        assert outcome.fault == "drop"
+        assert cluster.link(0).dropped == 1
+
+    def test_lost_reply_reaches_but_does_not_deliver(self):
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="drop", occurrence=1, lost_reply=True),
+        ))
+        _env, _cluster, (outcome,) = run_sends(plan, [{"dsts": (0,)}])
+        assert not outcome.delivered
+        assert outcome.request_reached
+        assert outcome.fault == "drop-reply"
+
+    def test_delay_spike_still_delivers(self):
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="delay", occurrence=1, magnitude=5.0),
+        ))
+        env, cluster, (outcome,) = run_sends(plan, [{"dsts": (0,)}])
+        assert outcome.delivered and outcome.fault == "delay"
+        assert outcome.delay == pytest.approx(5 * cluster.network.rtt)
+        assert cluster.link(0).delayed == 1
+
+    def test_duplicate_delivers_with_flag(self):
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="duplicate", occurrence=1),
+        ))
+        _env, cluster, (outcome,) = run_sends(plan, [{"dsts": (0,)}])
+        assert outcome.delivered and outcome.duplicated
+        assert cluster.link(0).duplicated == 1
+
+    def test_partition_fails_sends_until_heal(self):
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="partition", occurrence=1, duration=0.01),
+        ))
+        sends = [{"dsts": (0,), "timeout": 0.002}] * 3
+        _env, cluster, deliveries = run_sends(plan, sends)
+        # First send opens the window; the second (at ~0.002) is inside it;
+        # the third lands after depending on the timeouts — at minimum the
+        # first two fail as partitions.
+        assert deliveries[0].fault == "partition"
+        assert deliveries[1].fault == "partition"
+        assert cluster.link(0).partitioned_until == pytest.approx(0.01)
+
+    def test_partition_heals_by_time(self):
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="partition", occurrence=1, duration=0.004),
+        ))
+        sends = [{"dsts": (0,), "timeout": 0.005}] * 2
+        _env, _cluster, deliveries = run_sends(plan, sends)
+        assert deliveries[0].fault == "partition"
+        # The second send starts at 0.005 > heal time 0.004: clean delivery.
+        assert deliveries[1].delivered
+
+
+# ---------------------------------------------------------------------------
+# Receiver-side idempotency units
+# ---------------------------------------------------------------------------
+
+
+def make_txn_like(txn_id):
+    class _Txn:
+        pass
+
+    txn = _Txn()
+    txn.txn_id = txn_id
+    return txn
+
+
+class TestCommitTicketDedup:
+    def test_duplicate_precommit_returns_same_epoch_and_ticket(self):
+        manager = DurabilityManager(default_degraded_durability())
+        txn = make_txn_like(11)
+        writes = [(("rows", 1), "a"), (("rows", 2), "b")]
+        first = manager.precommit(txn, writes)
+        records_after_first = manager.records_written
+        second = manager.precommit(txn, writes)
+        assert second == first
+        assert manager.records_written == records_after_first
+        assert manager.duplicate_precommits == 1
+        assert retransmit_violations(manager) == {}
+
+    def test_broken_dedup_mints_second_ticket_and_is_caught(self):
+        manager = DurabilityManager(default_degraded_durability())
+        manager.dedup_enabled = False
+        txn = make_txn_like(11)
+        writes = [(("rows", 1), "a")]
+        manager.precommit(txn, writes)
+        manager.precommit(txn, writes)
+        violations = retransmit_violations(manager)
+        assert 11 in violations
+        assert len(violations[11]) == 2
+
+    def test_distinct_transactions_are_not_flagged(self):
+        manager = DurabilityManager(default_degraded_durability())
+        manager.precommit(make_txn_like(1), [(("rows", 1), "a")])
+        manager.precommit(make_txn_like(2), [(("rows", 1), "b")])
+        assert retransmit_violations(manager) == {}
+
+
+class TestIdempotentTimestamps:
+    def test_next_for_returns_cached_value(self):
+        oracle = TimestampOracle()
+        token = ("timestamp", 5)
+        first = oracle.next_for(token)
+        again = oracle.next_for(token)
+        assert again == first
+        assert oracle.duplicate_requests == 1
+        # A different token advances normally.
+        assert oracle.next_for(("timestamp", 6)) > first
+
+    def test_release_frees_the_reservation(self):
+        oracle = TimestampOracle()
+        token = ("timestamp", 5)
+        first = oracle.next_for(token)
+        oracle.release(token)
+        assert oracle.next_for(token) > first
+
+
+# ---------------------------------------------------------------------------
+# Engine-level robust exchange semantics
+# ---------------------------------------------------------------------------
+
+
+def build_chaos_engine(plan, workload=None, config_name="2layer",
+                       durable=True, options=None):
+    """Engine + env wired for degraded mode over the queue workload."""
+    workload = workload or QueueWorkload(initial_messages=6, window=8)
+    configuration = WORKLOAD_CONFIGURATIONS["queue"][config_name]()
+    manager = DurabilityManager(default_degraded_durability()) if durable else None
+    store = MultiVersionStore()
+    workload.populate(store)
+    env = Environment()
+    engine = TebaldiEngine(
+        env,
+        configuration,
+        workload.transaction_types(),
+        store=store,
+        options=options or default_degraded_options(seed=5),
+        durability=manager,
+    )
+    engine.cluster.message_faults = MessageFaultInjector(plan)
+    return env, engine, manager, workload
+
+
+def run_one(env, engine, txn_type, args):
+    outcome = {}
+
+    def probe():
+        try:
+            txn = yield from engine.execute_transaction(txn_type, args)
+            outcome["txn"] = txn
+        except TransactionAborted as aborted:
+            outcome["aborted"] = aborted
+
+    env.process(probe(), name="probe")
+    env.run()
+    return outcome
+
+
+class TestRobustExchange:
+    def test_dropped_commit_retries_and_commits_once(self):
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="drop", occurrence=1, phases=("precommit",)),
+        ))
+        env, engine, manager, _workload = build_chaos_engine(plan)
+        outcome = run_one(env, engine, "enqueue", {"payload": "m"})
+        assert "txn" in outcome
+        assert engine.net_stats["retries"] >= 1
+        assert engine.stats.commits == 1
+        assert retransmit_violations(manager) == {}
+
+    def test_lost_reply_applies_exactly_once(self):
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="drop", occurrence=1, lost_reply=True,
+                         phases=("precommit",)),
+        ))
+        env, engine, manager, _workload = build_chaos_engine(plan)
+        outcome = run_one(env, engine, "enqueue", {"payload": "m"})
+        assert "txn" in outcome
+        # The retransmit re-entered the durability layer and was absorbed.
+        assert engine.net_stats["retransmit_applies"] >= 1
+        assert manager.duplicate_precommits >= 1
+        assert retransmit_violations(manager) == {}
+        assert engine.stats.commits == 1
+
+    def test_duplicated_commit_applies_exactly_once(self):
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="duplicate", occurrence=1, phases=("precommit",)),
+        ))
+        env, engine, manager, _workload = build_chaos_engine(plan)
+        outcome = run_one(env, engine, "enqueue", {"payload": "m"})
+        assert "txn" in outcome
+        assert engine.net_stats["duplicate_deliveries"] == 1
+        assert manager.duplicate_precommits >= 1
+        assert retransmit_violations(manager) == {}
+        assert engine.stats.commits == 1
+
+    def test_unreachable_server_aborts_cleanly(self):
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="partition", occurrence=1, duration=5.0,
+                         phases=("start",)),
+        ))
+        env, engine, _manager, _workload = build_chaos_engine(plan)
+        outcome = run_one(env, engine, "enqueue", {"payload": "m"})
+        aborted = outcome["aborted"]
+        assert aborted.reason.startswith("net-unreachable")
+        assert engine.net_stats["unreachable_aborts"] == 1
+        assert engine.stats.commits == 0
+
+    def test_broken_dedup_double_applies_and_is_caught(self):
+        # The mutation test at engine level: same lost-reply plan as the
+        # exactly-once test, dedup switched off — the durable log must show
+        # the double application.
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="drop", occurrence=1, lost_reply=True,
+                         phases=("precommit",)),
+        ))
+        env, engine, manager, _workload = build_chaos_engine(plan)
+        manager.dedup_enabled = False
+        outcome = run_one(env, engine, "enqueue", {"payload": "m"})
+        assert "txn" in outcome
+        violations = retransmit_violations(manager)
+        assert violations, "broken commit-ticket dedup must be caught"
+        assert outcome["txn"].txn_id in violations
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation: the admission valve
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionValve:
+    def test_partition_parks_new_transactions_and_heals(self):
+        # Partition every durability server for a long window; the retry
+        # backlog passes the (low) threshold, new transactions park, and
+        # once the window heals the engine drains and keeps committing.
+        plan = MessageFaultPlan(points=(
+            MessageFault(kind="partition", occurrence=10, duration=0.05,
+                         servers=(0, 1, 2, 3)),
+        ))
+        options = default_degraded_options(seed=3)
+        options.net_park_threshold = 3
+        runner = DegradedRunner(
+            build_workload("smallbank"),
+            WORKLOAD_CONFIGURATIONS["smallbank"]["2layer"](),
+            seed=3,
+            options=options,
+            fault_plan=plan,
+        )
+        result = runner.run(clients=10, duration=0.4)
+        assert result.net_stats["degraded_windows"] >= 1
+        assert result.net_stats["parked"] >= 1
+        heal = result.fault_log[0]["heals_at"]
+        history = result.extra["recorder"].history()
+        post_heal = [
+            txn for txn in history.transactions.values() if txn.end_time > heal
+        ]
+        assert post_heal, "the engine must recover and commit after the heal"
+        assert result.violations == {}
+
+
+# ---------------------------------------------------------------------------
+# Empty plan == no injector, byte for byte
+# ---------------------------------------------------------------------------
+
+
+def run_pinned(attach_empty_injector):
+    workload = QueueWorkload(initial_messages=6, window=8)
+    configuration = WORKLOAD_CONFIGURATIONS["queue"]["3layer"]()
+    runner = DegradedRunner(
+        workload,
+        configuration,
+        seed=13,
+        fault_plan=MessageFaultPlan(),  # empty
+    )
+    if not attach_empty_injector:
+        runner.injector = None
+    manager = DurabilityManager(runner.durability_config)
+    store = MultiVersionStore()
+    workload.populate(store)
+    env = Environment()
+    engine = TebaldiEngine(
+        env,
+        configuration,
+        workload.transaction_types(),
+        store=store,
+        options=runner.options,
+        durability=manager,
+    )
+    if runner.injector is not None:
+        engine.cluster.message_faults = runner.injector
+    stop_event = env.event(name="stop")
+    engine.start_services(stop_event)
+    mix = workload.validate_mix(workload.mix())
+    from repro.harness.parallel import derive_point_seed
+
+    for client_id in range(8):
+        rng = workload.make_rng(derive_point_seed(13, "net-client", 0, client_id))
+        env.process(
+            runner._client(env, engine, stop_event, rng, mix, client_id),
+            name=f"client-{client_id}",
+        )
+    env.run(until=0.3)
+    return (
+        engine.stats.commits,
+        engine.stats.aborts,
+        sorted(engine.committed_ids),
+        sorted((repr(k), repr(v)) for k, v in store.latest_state().items()),
+        env.now,
+    )
+
+
+class TestEmptyPlanIsByteIdentical:
+    def test_attached_empty_plan_matches_plain_run(self):
+        plain = run_pinned(attach_empty_injector=False)
+        empty = run_pinned(attach_empty_injector=True)
+        assert plain == empty
+
+
+# ---------------------------------------------------------------------------
+# End-to-end chaos cells
+# ---------------------------------------------------------------------------
+
+
+CHAOS_CELL_PARAMS = [
+    (workload_name, config_name)
+    for workload_name, config_names in sorted(CHAOS_CELLS.items())
+    for config_name in config_names
+]
+
+
+class TestChaosCells:
+    @pytest.mark.parametrize("workload_name,config_name", CHAOS_CELL_PARAMS)
+    def test_cell_survives_drop_and_partition(self, workload_name, config_name):
+        workload = build_workload(workload_name)
+        configuration = WORKLOAD_CONFIGURATIONS[workload_name][config_name]()
+        result = run_degraded_benchmark(
+            workload,
+            configuration,
+            clients=8,
+            duration=0.4,
+            seed=11,
+            faults=4,
+            require=("drop", "partition"),
+        )
+        kinds = [fault["kind"] for fault in result.fault_log]
+        assert "drop" in kinds
+        assert "partition" in kinds
+        assert result.commits > 0
+        assert result.violations == {}
+        assert result.extra["isolation"].ok
+
+    def test_fixed_seed_reproduces_byte_identically(self):
+        def run():
+            return run_degraded_benchmark(
+                build_workload("queue"),
+                WORKLOAD_CONFIGURATIONS["queue"]["2layer"](),
+                clients=8,
+                duration=0.3,
+                seed=23,
+            )
+
+        first, second = run(), run()
+        assert first.commits == second.commits
+        assert first.aborts == second.aborts
+        assert first.fault_log == second.fault_log
+        assert first.net_stats == second.net_stats
+
+    def test_adversarial_duplication_reorder_storm_keeps_exactly_once(self):
+        # Aim every fault at the commit exchange: lost replies, duplicated
+        # deliveries and reorders in a row.  Exactly-once dequeue and the
+        # single-ticket invariant must survive the storm.
+        points = []
+        for _ in range(4):
+            points.extend([
+                MessageFault(kind="drop", occurrence=2, lost_reply=True,
+                             phases=("precommit",)),
+                MessageFault(kind="duplicate", occurrence=2,
+                             phases=("precommit",)),
+                MessageFault(kind="reorder", occurrence=2, magnitude=6.0,
+                             phases=("precommit",)),
+            ])
+        runner = DegradedRunner(
+            build_workload("queue"),
+            WORKLOAD_CONFIGURATIONS["queue"]["2layer"](),
+            seed=17,
+            fault_plan=MessageFaultPlan(points=tuple(points)),
+        )
+        result = runner.run(clients=8, duration=0.4)
+        assert result.violations == {}
+        assert result.net_stats["retransmit_applies"] >= 1
+        assert result.net_stats["duplicate_deliveries"] >= 1
+        assert result.extra["isolation"].ok
+
+    def test_mutation_broken_dedup_is_caught_end_to_end(self):
+        points = tuple(
+            MessageFault(kind="drop", occurrence=2, lost_reply=True,
+                         phases=("precommit",))
+            for _ in range(3)
+        )
+        runner = DegradedRunner(
+            build_workload("queue"),
+            WORKLOAD_CONFIGURATIONS["queue"]["2layer"](),
+            seed=17,
+            fault_plan=MessageFaultPlan(points=points),
+            dedup_enabled=False,
+        )
+        result = runner.run(clients=8, duration=0.4, raise_on_violation=False)
+        assert "duplicate_tickets" in result.violations, (
+            "a deliberately broken commit-ticket dedup must be caught"
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestNetFaultsCLI:
+    def test_quick_run_passes(self, capsys):
+        code = harness_main([
+            "--workload", "queue", "--config", "2layer",
+            "--net-faults", "2", "--quick", "--workers", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "degraded-mode checked runs passed" in out
+        assert "faults:" in out
+
+    def test_negative_net_faults_rejected(self):
+        with pytest.raises(SystemExit):
+            harness_main(["--workload", "queue", "--net-faults", "-1"])
+
+    def test_no_check_rejected(self):
+        with pytest.raises(SystemExit):
+            harness_main(["--workload", "queue", "--net-faults", "1", "--no-check"])
+
+    def test_unregistered_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            harness_main(["--workload", "micro", "--net-faults", "1"])
+
+    def test_mutually_exclusive_with_crash_faults(self):
+        with pytest.raises(SystemExit):
+            harness_main([
+                "--workload", "queue", "--faults", "1", "--net-faults", "1",
+            ])
+
+
+# ---------------------------------------------------------------------------
+# Randomized soak (slow lane)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestChaosSoak:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_fault_schedules(self, seed):
+        for workload_name, config_name in (("queue", "3layer"), ("smallbank", "2layer")):
+            result = run_degraded_benchmark(
+                build_workload(workload_name),
+                WORKLOAD_CONFIGURATIONS[workload_name][config_name](),
+                clients=10,
+                duration=0.5,
+                seed=1000 + seed,
+                faults=6,
+            )
+            assert result.violations == {}
+            assert result.extra["isolation"].ok
