@@ -11,7 +11,8 @@
 # the three benchmark scenarios and verifies the fixed-seed behavior
 # fingerprint against the recorded baseline in BENCH_speed.json, so both
 # functional and performance regressions fail loudly.  The checked-run
-# smoke gates micro and SmallBank runs under two CC trees each on the Adya
+# smoke gates micro and SmallBank runs under two CC trees each — plus the
+# deterministic-batch YCSB cells (zipfian + scan-heavy) — on the Adya
 # isolation oracle (python -m repro.harness --quick); its independent
 # cells fan out across --workers processes (WORKERS env var overrides;
 # results are identical whatever the worker count).  The crash-recovery
@@ -49,6 +50,10 @@ echo "== checked-run smoke (isolation oracle) =="
 WORKERS="${WORKERS:-$(python -c 'import os; print(os.cpu_count() or 1)')}"
 python -m repro.harness --workload micro --config 2pl --config 2layer --quick --workers "$WORKERS"
 python -m repro.harness --workload smallbank --config ssi --config 3layer --quick --workers "$WORKERS"
+# Deterministic batch cells: monolithic on the zipfian mix, 2-layer on the
+# scan-heavy profile (declared ranges carry the phantom story).
+python -m repro.harness --workload ycsb-zipf --config batch --config batch-2layer --quick --workers "$WORKERS"
+python -m repro.harness --workload ycsb-scan --config batch --config batch-2layer --quick --workers "$WORKERS"
 
 echo
 echo "== crash-recovery smoke (cross-crash oracle) =="

@@ -30,6 +30,12 @@ class TransactionProfile:
     accesses: tuple = ()
     read_only: bool = False
     promise_keys: Optional[Callable] = None
+    #: ``args -> iterable of (table, lo, hi)``: the range predicates the
+    #: transaction's scans may touch, declarable from the arguments alone.
+    #: Used by mechanisms that pre-declare access sets (deterministic batch
+    #: execution builds its dependency graph from declared write keys and
+    #: declared scan ranges); ``None`` means the type declares no ranges.
+    scan_ranges: Optional[Callable] = None
     description: str = ""
 
     def tables(self):

@@ -12,6 +12,7 @@ from repro.cc.runtime_pipelining import RuntimePipelining
 from repro.cc.ssi import SerializableSnapshotIsolation
 from repro.cc.tso import TimestampOrdering
 from repro.cc.occ import OptimisticCC
+from repro.cc.batch import DeterministicBatch
 from repro.cc.timestamps import TimestampOracle
 
 __all__ = [
@@ -25,5 +26,6 @@ __all__ = [
     "SerializableSnapshotIsolation",
     "TimestampOrdering",
     "OptimisticCC",
+    "DeterministicBatch",
     "TimestampOracle",
 ]

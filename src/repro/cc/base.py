@@ -81,6 +81,11 @@ class ConcurrencyControl:
     requires_profiles = False
     read_optimized = False
     write_optimized = False
+    #: Whether partition-by-instance leaves (``instance_key``) may use this
+    #: mechanism.  Sequencing mechanisms that impose one total order per
+    #: group (deterministic batch) cannot be split into independent
+    #: per-partition instances.
+    supports_partitioning = True
 
     def __init__(self, engine, node):
         self.engine = engine
@@ -137,6 +142,18 @@ class ConcurrencyControl:
     # Top-down pass hooks may block (return a generator for the engine to
     # drive, or None); bottom-up hooks are synchronous except
     # validate/pre_commit which may also block.
+
+    def admit(self, txn_type, args):
+        """Batched-admission gate, driven by the engine *before* ``begin``.
+
+        Mechanisms that admit work in waves (deterministic batch execution)
+        override this to park arriving transactions while their backlog of
+        sealed-but-unfinished batches is full — the admission valve runs
+        before the transaction exists, so parked work never inflates the
+        active set, the dependency graph or the GC horizon.  Like the other
+        hooks, return ``None`` to admit immediately or a generator for the
+        engine to drive.
+        """
 
     def start(self, txn):
         """Start phase, top-down: allocate metadata / timestamps / batches."""

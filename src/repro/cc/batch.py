@@ -1,0 +1,457 @@
+"""Deterministic batched execution over a dependency graph (BOHM/DGCC-style).
+
+Arriving transactions are grouped into *batches*.  When a batch seals (size
+or time window), a sequencing step assigns each member a position in one
+total order and pre-declares its write set — and the ranges its scans may
+touch — as *version slots* in the multiversion store.  The declared slots
+form the batch dependency graph: a transaction conflicts exactly with the
+earlier-sequenced transactions whose declared writes intersect its declared
+writes or scan ranges.  Execution is then lock-free: an operation waits only
+until the conflicting slots of earlier-sequenced transactions resolve
+(install, or release at commit for declared-but-unwritten keys), reads
+observe the latest version *in sequence order* — uncommitted versions
+included — and members commit in sequence order, so the per-key version
+chains equal the pre-decided order and no member ever aborts on a conflict
+with another member.
+
+The mechanism mirrors deterministic database execution (Calvin's sequencing
+layer, BOHM's version pre-assignment, DGCC's dependency graphs): contention
+does not cause aborts or lock convoys, at the price of requiring declarable
+write sets.  Transaction types whose write keys cannot be computed from the
+arguments alone (e.g. a dequeue that finds its victim by scanning) are
+rejected at configuration time.
+
+As a member of the hierarchical CC tree the mechanism is leaf-only and
+composes under delegating ancestors (2PL / SSI / OCC nexus): members appear
+to the ancestor as one child group, so cross-group conflicts are mediated by
+the nexus while in-group conflicts are sequenced here.  Ancestors that
+aggressively re-order reads against their own clocks (RP, TSO) would
+override the sequence and are rejected.
+"""
+
+from itertools import count
+
+from repro.cc.base import ConcurrencyControl, register_cc
+from repro.errors import ConfigurationError, TransactionAborted
+from repro.sim.events import Event
+from repro.sim.resources import Condition
+
+#: Ancestors that delegate in-group ordering to the child CC.  RP and TSO
+#: amend reads against their own pipeline/timestamp state and would override
+#: the batch sequence, so they cannot sit above a batch group.
+_DELEGATING_ANCESTORS = frozenset({"2pl", "ssi", "occ", "none"})
+
+
+class _Batch:
+    """One admission wave: members, seal state, and completion countdown."""
+
+    __slots__ = ("members", "sealed", "sealed_event", "remaining")
+
+    def __init__(self, env, name):
+        self.members = []
+        self.sealed = False
+        self.sealed_event = Event(env, name=name)
+        self.remaining = 0
+
+
+@register_cc
+class DeterministicBatch(ConcurrencyControl):
+    """Deterministic batch execution with pre-declared version slots."""
+
+    name = "batch"
+    handles_contention = True
+    efficient_internal = False
+    requires_profiles = True
+    write_optimized = True
+    # One total order per group: independent per-partition instances would
+    # split the sequence, so partition-by-instance is rejected at build time.
+    supports_partitioning = False
+    extra_start_rtts = 1  # sequencer round-trip
+
+    def __init__(
+        self,
+        engine,
+        node,
+        batch_size=8,
+        batch_window=0.01,
+        max_inflight_batches=4,
+    ):
+        super().__init__(engine, node)
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if batch_window <= 0:
+            raise ConfigurationError("batch_window must be positive")
+        if max_inflight_batches < 1:
+            raise ConfigurationError("max_inflight_batches must be >= 1")
+        self.batch_size = batch_size
+        self.batch_window = batch_window
+        self.max_inflight_batches = max_inflight_batches
+        if not node.is_leaf:
+            raise ConfigurationError(
+                "batch is a leaf (in-group) mechanism: the sequencer orders "
+                "one group's transactions, it cannot federate child groups"
+            )
+        ancestor = node.parent
+        while ancestor is not None:
+            if ancestor.spec.cc not in _DELEGATING_ANCESTORS:
+                raise ConfigurationError(
+                    f"batch group cannot run under a {ancestor.spec.cc!r} "
+                    "ancestor: it amends member reads against its own "
+                    "ordering and would override the batch sequence"
+                )
+            ancestor = ancestor.parent
+        for txn_type in node.spec.transactions:
+            profile = engine.profile_of(txn_type)
+            writes = any(mode == "w" for _table, mode in profile.accesses)
+            if writes and profile.promise_keys is None:
+                raise ConfigurationError(
+                    f"batch group requires declarable write sets: type "
+                    f"{txn_type!r} writes but its profile declares no "
+                    "promise_keys"
+                )
+        self._open_batch = None
+        self._inflight = 0
+        self._seq_counter = count(1)
+        self._seqs = {}  # txn_id -> sequence position (sealed, active)
+        self._active = {}  # txn_id -> txn (joined a batch, not finished)
+        #: Dependency-graph edges materialised across all seals (stats).
+        self.graph_edges = 0
+        self.batches_sealed = 0
+        self.admission = Condition(engine.env, name=f"batch-admit@{node.node_id}")
+        self.progress = Condition(engine.env, name=f"batch@{node.node_id}")
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _abort(self, txn, reason, other=None):
+        if self.engine.profiler is not None:
+            self.engine.profiler.record_abort(txn, reason, other)
+        raise TransactionAborted(txn.txn_id, reason)
+
+    def _seq(self, txn):
+        return self.state(txn).get("seq", 0)
+
+    @staticmethod
+    def _key_in_ranges(key, ranges):
+        if not isinstance(key, tuple) or len(key) != 2:
+            return False
+        table, pk = key
+        for range_table, lo, hi in ranges:
+            if range_table == table and lo <= pk <= hi:
+                return True
+        return False
+
+    def _pending_slot_writers(self, txn, my_seq, key):
+        """Active members sequenced before ``txn`` with an unresolved slot on key."""
+        slots = self.engine.store.slot_writers(key)
+        if not slots:
+            return []
+        pending = []
+        for writer_id, seq in slots.items():
+            if writer_id == txn.txn_id or seq >= my_seq:
+                continue
+            writer = self._active.get(writer_id)
+            if writer is not None:
+                pending.append(writer)
+        return pending
+
+    def _pending_range_writers(self, txn, my_seq, key_range):
+        """Earlier-sequenced members with an unresolved slot inside the range."""
+        store = self.engine.store
+        pending = []
+        for writer_id, seq in self._seqs.items():
+            if writer_id == txn.txn_id or seq >= my_seq:
+                continue
+            writer = self._active.get(writer_id)
+            if writer is None:
+                continue
+            for key in store.unresolved_slots_of(writer_id):
+                if (
+                    isinstance(key, tuple)
+                    and len(key) == 2
+                    and key[0] == key_range.table
+                    and key_range.contains_pk(key[1])
+                ):
+                    pending.append(writer)
+                    break
+        return pending
+
+    # -- admission & start phase -------------------------------------------------
+
+    def admit(self, txn_type, args):
+        """Park new arrivals while the backlog of sealed batches is full."""
+        if self._inflight < self.max_inflight_batches:
+            return None
+        return self._admit_wait()
+
+    def _admit_wait(self):
+        while self._inflight >= self.max_inflight_batches:
+            yield from self.admission.wait()
+
+    def start(self, txn):
+        batch = self._open_batch
+        if batch is None:
+            batch = self._open_batch = _Batch(
+                self.env, name=f"batch-seal@{self.node.node_id}"
+            )
+            self.env.process(
+                self._window(batch), name=f"batch-window@{self.node.node_id}"
+            )
+        batch.members.append(txn)
+        self._active[txn.txn_id] = txn
+        self.state(txn)["batch"] = batch
+        if len(batch.members) >= self.batch_size:
+            self._seal(batch)
+        # Execution begins only once the batch seals and the member holds a
+        # sequence position and declared slots.
+        yield batch.sealed_event
+
+    def _window(self, batch):
+        yield self.env.timeout(self.batch_window)
+        if not batch.sealed:
+            self._seal(batch)
+
+    def _seal(self, batch):
+        """Sequencing step: total order, slot pre-declaration, dependency graph."""
+        if batch.sealed:
+            return
+        batch.sealed = True
+        if self._open_batch is batch:
+            self._open_batch = None
+        # Drop members that died while waiting for the seal (force-aborts).
+        members = [txn for txn in batch.members if txn.txn_id in self._active]
+        batch.members = members
+        batch.remaining = len(members)
+        if not members:
+            batch.sealed_event.succeed()
+            return
+        self._inflight += 1
+        self.batches_sealed += 1
+        store = self.engine.store
+        seqs = self._seqs
+        for txn in members:
+            seq = next(self._seq_counter)
+            state = self.state(txn)
+            state["seq"] = seq
+            seqs[txn.txn_id] = seq
+            profile = self.engine.profile_of(txn.txn_type)
+            keys = ()
+            if profile.promise_keys is not None:
+                keys = tuple(profile.promise_keys(txn.args))
+            state["write_keys"] = frozenset(keys)
+            ranges = ()
+            if profile.scan_ranges is not None:
+                ranges = tuple(profile.scan_ranges(txn.args))
+            state["scan_ranges"] = ranges
+            # Dependency-graph build: an edge to every earlier-sequenced
+            # active member whose declared writes intersect this member's
+            # declared writes or scan ranges.  Reads are not declared;
+            # read-write ordering is enforced at execution time by the slot
+            # waits, which the same declared slots drive.
+            preds = set()
+            my_writes = state["write_keys"]
+            for other_id, other_seq in seqs.items():
+                if other_seq >= seq:
+                    continue
+                other = self._active.get(other_id)
+                if other is None:
+                    continue
+                other_writes = self.state(other).get("write_keys", ())
+                if not other_writes:
+                    continue
+                if my_writes and not my_writes.isdisjoint(other_writes):
+                    preds.add(other_id)
+                    continue
+                if ranges and any(
+                    self._key_in_ranges(key, ranges) for key in other_writes
+                ):
+                    preds.add(other_id)
+            state["preds"] = preds
+            self.graph_edges += len(preds)
+            if keys:
+                # Pre-assign version slots: later-sequenced readers and
+                # writers wait on these instead of locks, and declared
+                # inserts become enumerable to scans before they install.
+                store.declare_slots(txn.txn_id, seq, keys)
+        batch.sealed_event.succeed()
+
+    # -- execution phase ----------------------------------------------------------
+
+    def before_read(self, txn, key):
+        """Wait until earlier-sequenced slots on ``key`` resolve."""
+        my_seq = self._seq(txn)
+        if not self._pending_slot_writers(txn, my_seq, key):
+            return None
+        return self.engine.wait_until(
+            txn,
+            predicate=lambda: not self._pending_slot_writers(txn, my_seq, key),
+            condition=self.progress,
+            blocker_fn=lambda: (
+                self._pending_slot_writers(txn, my_seq, key) or [None]
+            )[0],
+            reason="batch-slot-wait",
+        )
+
+    def before_write(self, txn, key, value):
+        state = self.state(txn)
+        if key not in state.get("write_keys", ()):
+            # The sequencing step never saw this write, so no slot exists and
+            # the pre-decided dependency graph is wrong: the only safe move
+            # is to abort (the profile under-declared its write set).
+            self._abort(txn, "batch-undeclared-write")
+        my_seq = state["seq"]
+        # Installs happen in sequence order per key: wait for the
+        # dependency-graph predecessors still holding unresolved slots here
+        # (every earlier-sequenced slot holder on a declared key is, by the
+        # seal-time graph build, one of this member's predecessors).
+        if not self._pending_slot_writers(txn, my_seq, key):
+            return None
+        return self.engine.wait_until(
+            txn,
+            predicate=lambda: not self._pending_slot_writers(txn, my_seq, key),
+            condition=self.progress,
+            blocker_fn=lambda: (
+                self._pending_slot_writers(txn, my_seq, key) or [None]
+            )[0],
+            reason="batch-install-order",
+        )
+
+    def before_scan(self, txn, key_range):
+        """Phantom guard: drain earlier-sequenced declared writes in the range.
+
+        Declared inserts are indexed when their slots are declared, so the
+        engine's enumeration already sees keys that do not exist yet; this
+        wait ensures every earlier-sequenced write (insert or update) inside
+        the predicate has resolved before the per-key reads run.  Later-
+        sequenced inserts are ordered after the scan by the sequence.
+        """
+        my_seq = self._seq(txn)
+        if not self._pending_range_writers(txn, my_seq, key_range):
+            return None
+        return self.engine.wait_until(
+            txn,
+            predicate=lambda: not self._pending_range_writers(
+                txn, my_seq, key_range
+            ),
+            condition=self.progress,
+            blocker_fn=lambda: (
+                self._pending_range_writers(txn, my_seq, key_range) or [None]
+            )[0],
+            reason="batch-scan-wait",
+        )
+
+    def select_version(self, txn, key):
+        """Read the latest version in *sequence* order, uncommitted included."""
+        store = self.engine.store
+        own = store.own_uncommitted(key, txn.txn_id)
+        if own is not None:
+            return own
+        my_seq = self._seq(txn)
+        best = None
+        best_seq = -1
+        per_key = store.uncommitted_map(key)
+        if per_key:
+            for writer_id, version in per_key.items():
+                seq = version.metadata.get("batch_seq")
+                if seq is None or seq >= my_seq or seq <= best_seq:
+                    continue
+                if writer_id in self._active:
+                    best, best_seq = version, seq
+        if best is not None:
+            return best
+        # Members commit in sequence order, so a committed member version
+        # sequenced after this transaction should be impossible while it is
+        # active; the guard keeps reads sequence-consistent even if an
+        # ancestor re-proposes the chain tail.
+        for version in reversed(store.committed_versions(key)):
+            seq = version.metadata.get("batch_seq")
+            if seq is not None and seq >= my_seq:
+                continue
+            return version
+        return None
+
+    def after_write(self, txn, key, version):
+        version.metadata["batch_seq"] = self._seq(txn)
+        # Installing resolved this key's slot: wake slot waiters.
+        self.progress.notify_all()
+
+    # -- validation & commit -------------------------------------------------------
+
+    def validate(self, txn):
+        """Enter commit in sequence order; pipeline independent commits.
+
+        Two waits, both pointing at earlier sequence positions only:
+
+        1. Every earlier-sequenced active member must have *reached its own
+           commit point* (stopped executing).  This guarantees that no member
+           sequenced after an active transaction is ever visible to it as
+           committed — which keeps delegating ancestors (whose amends may
+           prefer the committed chain tail) consistent with the sequence —
+           without serialising the commit phases of independent members into
+           one 1/phase-delay bottleneck.
+        2. Dependency-graph predecessors (declared write/scan overlaps) must
+           *finish*, so per-key committed chains equal the pre-decided order
+           even for blind writes that adopted no version.
+        """
+        state = self.state(txn)
+        my_seq = state["seq"]
+        # Mark the commit point first: later-sequenced members may stop
+        # waiting on this transaction as soon as it stops executing.
+        state["committing"] = True
+        self.progress.notify_all()
+
+        def _executing_earlier():
+            pending = []
+            for txn_id, seq in self._seqs.items():
+                if seq >= my_seq:
+                    continue
+                other = self._active.get(txn_id)
+                if other is not None and not self.state(other).get("committing"):
+                    pending.append(other)
+            return pending
+
+        if _executing_earlier():
+            yield from self.engine.wait_until(
+                txn,
+                predicate=lambda: not _executing_earlier(),
+                condition=self.progress,
+                blocker_fn=lambda: (_executing_earlier() or [None])[0],
+                reason="batch-commit-order",
+            )
+
+        def _active_preds():
+            active = self._active
+            return [active[pred] for pred in state["preds"] if pred in active]
+
+        if _active_preds():
+            yield from self.engine.wait_for_progress(
+                txn,
+                blockers_fn=_active_preds,
+                event_fn=lambda blocker: [blocker.finish_event],
+                reason="batch-pred-commit",
+            )
+        deps = self.subtree_dependencies(txn)
+        if deps:
+            yield from self.engine.wait_for_transactions(txn, deps)
+
+    def finish(self, txn, committed):
+        self._active.pop(txn.txn_id, None)
+        self._seqs.pop(txn.txn_id, None)
+        state = self.state(txn)
+        batch = state.get("batch")
+        if batch is not None:
+            if batch.sealed:
+                batch.remaining -= 1
+                if batch.remaining == 0:
+                    self._inflight -= 1
+                    self.admission.notify_all()
+            else:
+                try:
+                    batch.members.remove(txn)
+                except ValueError:
+                    pass
+        # Unwritten declared slots were retracted by the store at commit or
+        # abort; wake anything waiting on them (or on this commit's order).
+        self.progress.notify_all()
+
+    def can_garbage_collect(self, epoch):
+        return not self._active

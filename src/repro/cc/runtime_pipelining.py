@@ -335,10 +335,13 @@ class RuntimePipelining(ConcurrencyControl):
 
     def _pipelined_read(self, txn, key, candidate):
         if candidate is not None and not candidate.committed:
+            if candidate.writer == txn.txn_id:
+                return candidate
             writer = self.engine.find_transaction(candidate.writer)
-            if candidate.writer == txn.txn_id or (
-                writer is not None and self.is_member(writer) and writer.is_active
-            ):
+            if writer is not None and self.is_member(writer) and writer.is_active:
+                superseding = self._superseding_step_committed(key, candidate)
+                if superseding is not None:
+                    return superseding
                 return candidate
         step_committed = self._step_committed.get(key)
         if step_committed is not None:
@@ -357,6 +360,30 @@ class RuntimePipelining(ConcurrencyControl):
             if latest is None or (candidate.commit_seq or 0) >= (latest.commit_seq or 0):
                 return candidate
         return latest
+
+    def _superseding_step_committed(self, key, candidate):
+        """A step-committed version at this node superseding ``candidate``.
+
+        A child subtree can propose a member writer's still-uncommitted
+        version even after a writer in a *different* child step-committed a
+        newer one through this node's pipeline — the child cannot see the
+        cross-group writer.  The handoff order at this node already recorded
+        that the slot writer is ordered after the candidate's writer, and
+        every reader arriving here is ordered after the slot writer too
+        (``_order_after_passed``, or its own child's proposal when they share
+        a group), so the superseding version is the one such a reader must
+        observe.
+        """
+        slot = self._step_committed.get(key)
+        if slot is None or slot.writer == candidate.writer or slot.committed:
+            return None
+        writer = self.engine.find_transaction(slot.writer)
+        if writer is None or not writer.is_active:
+            self._step_committed.pop(key, None)
+            return None
+        if self.engine.depends_transitively(slot.writer, candidate.writer):
+            return slot
+        return None
 
     def select_version(self, txn, key):
         candidate = self.engine.store.own_uncommitted(key, txn.txn_id)

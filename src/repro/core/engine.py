@@ -252,6 +252,16 @@ class TebaldiEngine:
         """
         if self._draining or self._net_degraded or txn_type in self._paused_types:
             yield from self._wait_for_admission(txn_type)
+        route = self._routes.get(txn_type)
+        if route is not None and route.admission_hooks:
+            # Batched-admission path: mechanisms that admit work in waves
+            # (deterministic batch execution) park arriving requests here,
+            # before begin(), so a full backlog never inflates the active
+            # set or the dependency graph.
+            for admit_hook in route.admission_hooks:
+                step = admit_hook(txn_type, args)
+                if step is not None:
+                    yield from step
         txn = self.begin(txn_type, args, client_id)
         try:
             result = yield from self._run(txn)

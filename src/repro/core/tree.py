@@ -6,7 +6,7 @@ transaction types of its subtree, which is how membership and child-group
 tokens are resolved.
 """
 
-from repro.cc.base import ConcurrencyControl, create_cc
+from repro.cc.base import CC_REGISTRY, ConcurrencyControl, create_cc
 from repro.errors import ConfigurationError
 
 
@@ -98,6 +98,11 @@ class PartitionedCC:
 
     # The four-phase interface simply dispatches on the partition value.
 
+    # Mechanisms that gate admission do not support partitioning (checked at
+    # build time), so the base no-op is shared — and, being identical to the
+    # base hook, keeps partitioned leaves out of the admission hook table.
+    admit = ConcurrencyControl.admit
+
     def start(self, txn):
         return self.instance_for(txn).start(txn)
 
@@ -175,6 +180,7 @@ class Route:
         "op_delay",
         "phase_delay",
         "start_delay",
+        "admission_hooks",
         "read_hooks",
         "update_read_hooks",
         "write_hooks",
@@ -211,6 +217,11 @@ class Route:
         # top-down for the constraining hooks, bottom-up for the rest.
         down = ccs
         up = list(reversed(ccs))
+        # Batched-admission gates run in execute_transaction before begin();
+        # almost every tree has none, so the engine skips an empty tuple.
+        self.admission_hooks = tuple(
+            cc.admit for cc in down if _overrides(cc, "admit")
+        )
         self.read_hooks = tuple(
             cc.before_read for cc in down if _overrides(cc, "before_read")
         )
@@ -300,6 +311,12 @@ def build_tree(engine, configuration):
             if not node.is_leaf:
                 raise ConfigurationError(
                     "partition-by-instance is only supported on leaf groups"
+                )
+            cls = CC_REGISTRY.get(node.spec.cc)
+            if cls is not None and not cls.supports_partitioning:
+                raise ConfigurationError(
+                    f"{node.spec.cc!r} does not support partition-by-instance "
+                    "(the mechanism sequences one total order per group)"
                 )
             node.cc = PartitionedCC(
                 engine,

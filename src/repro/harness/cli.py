@@ -63,6 +63,10 @@ def build_workload(name, ycsb_profile="a"):
             records=2000, profile=ycsb_profile,
             distribution="zipfian", zipf_theta=0.9,
         )
+    if name == "ycsb-scan":
+        # The scan-heavy profile pinned to E: 95% range scans racing 5%
+        # inserts, the phantom-bearing cell for the scan-aware CC trees.
+        return YCSBWorkload(records=1000, profile="e")
     if name == "queue":
         return QueueWorkload(initial_messages=6, window=8)
     raise ValueError(f"unknown workload {name!r}")

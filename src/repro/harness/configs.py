@@ -456,6 +456,52 @@ def ycsb_3layer():
     )
 
 
+def ycsb_batch():
+    """Monolithic deterministic batch: the whole mix is sequenced.
+
+    Every YCSB writer's key set is computable from its arguments and the
+    scan declares its range, so the entire mix satisfies the batch
+    mechanism's declarability requirement — the BOHM/DGCC configuration.
+    """
+    return monolithic("batch", YCSB_TRANSACTIONS, name="ycsb-batch")
+
+
+def ycsb_batch_2layer():
+    """SSI separating reads and scans from one deterministic batch group."""
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", *YCSB_READS, label="ReadOnly"),
+            leaf("batch", *YCSB_UPDATES, label="Batch updates"),
+            label="YCSB-batch-2layer",
+        ),
+        name="ycsb-batch-2layer",
+    )
+
+
+def ycsb_batch_3layer():
+    """SSI over {read-only, 2PL over {batch single-key writers, 2PL inserts}}.
+
+    The deterministic batch group replaces the RP group of ``ycsb_3layer``:
+    the contended single-key writers are sequenced, while inserts stay under
+    plain 2PL and conflict with them only at the cross-group nexus.
+    """
+    return Configuration(
+        node(
+            "ssi",
+            leaf("none", *YCSB_READS, label="ReadOnly"),
+            node(
+                "2pl",
+                leaf("batch", "update_record", "read_modify_write", label="Batch(updates)"),
+                leaf("2pl", "insert_record", label="2PL(insert)"),
+                label="Updates",
+            ),
+            label="YCSB-batch-3layer",
+        ),
+        name="ycsb-batch-3layer",
+    )
+
+
 # ---------------------------------------------------------------------------
 # Queue/outbox configurations
 # ---------------------------------------------------------------------------
@@ -548,6 +594,20 @@ YCSB_CONFIGURATIONS = {
     "ssi": ycsb_monolithic_ssi,
     "2layer": ycsb_2layer,
     "3layer": ycsb_3layer,
+    "batch": ycsb_batch,
+    "batch-2layer": ycsb_batch_2layer,
+    "batch-3layer": ycsb_batch_3layer,
+}
+
+#: The scan-heavy YCSB profile (E) as its own registered workload: scans are
+#: 95% of the mix, so the deterministic batch trees must carry their
+#: declared-range phantom story, not just point writes.
+YCSB_SCAN_CONFIGURATIONS = {
+    "2pl": ycsb_monolithic_2pl,
+    "ssi": ycsb_monolithic_ssi,
+    "2layer": ycsb_2layer,
+    "batch": ycsb_batch,
+    "batch-2layer": ycsb_batch_2layer,
 }
 
 TPCC_SCAN_CONFIGURATIONS = {
@@ -565,8 +625,9 @@ QUEUE_CONFIGURATIONS = {
 }
 
 #: workload name -> {configuration name -> zero-argument factory}.
-#: ``tpcc-scan`` and ``queue`` carry range scans; ``ycsb-zipf`` shares the
-#: YCSB trees (same transaction types, zipfian keys at a larger keyspace).
+#: ``tpcc-scan``, ``queue`` and ``ycsb-scan`` carry range scans;
+#: ``ycsb-zipf`` shares the YCSB trees (same transaction types, zipfian
+#: keys at a larger keyspace) including the deterministic batch trees.
 WORKLOAD_CONFIGURATIONS = {
     "tpcc": TPCC_CONFIGURATIONS,
     "tpcc-scan": TPCC_SCAN_CONFIGURATIONS,
@@ -575,6 +636,7 @@ WORKLOAD_CONFIGURATIONS = {
     "smallbank": SMALLBANK_CONFIGURATIONS,
     "ycsb": YCSB_CONFIGURATIONS,
     "ycsb-zipf": YCSB_CONFIGURATIONS,
+    "ycsb-scan": YCSB_SCAN_CONFIGURATIONS,
     "queue": QUEUE_CONFIGURATIONS,
 }
 

@@ -86,6 +86,15 @@ class MultiVersionStore:
         # index behind range scans.  Keys enter on first load/install and
         # leave only when an aborted insert leaves no version behind.
         self._table_index = {}
+        # key -> {writer_id: seq}: pre-assigned version slots declared by a
+        # sequencing CC (deterministic batch execution) before the writers
+        # run.  A slot is *resolved* when the writer installs the version
+        # (install pops it) and *retracted* when the writer finishes without
+        # writing the key.  Declared keys join the table index immediately
+        # so range scans enumerate pending inserts.
+        self._slots = {}
+        # writer_id -> [declared keys]: for retraction at finish.
+        self._slots_by_txn = {}
 
     # -- ordered key index ---------------------------------------------------
 
@@ -103,7 +112,7 @@ class MultiVersionStore:
 
     def _unindex_dead_key(self, key):
         """Drop an index entry whose key has no versions left (aborted insert)."""
-        if key in self._committed or key in self._uncommitted:
+        if key in self._committed or key in self._uncommitted or key in self._slots:
             return
         if not isinstance(key, tuple) or len(key) != 2:
             return
@@ -238,6 +247,56 @@ class MultiVersionStore:
         """Commit sequence number of the most recent commit."""
         return self._last_commit_seq
 
+    # -- pre-assigned version slots (deterministic batch execution) -----------
+
+    def declare_slots(self, txn_id, seq, keys):
+        """Pre-assign version slots for a sequenced transaction.
+
+        Called once per transaction when its batch seals: every declared
+        write key gets a slot carrying the transaction's position ``seq`` in
+        the batch total order.  Readers sequenced after ``seq`` wait until
+        the slot resolves (the version is installed) or is retracted; the
+        keys join the table index immediately so range scans enumerate
+        pending inserts before the writer has executed.
+        """
+        recorded = self._slots_by_txn.get(txn_id)
+        if recorded is None:
+            recorded = self._slots_by_txn[txn_id] = []
+        for key in keys:
+            per_key = self._slots.get(key)
+            if per_key is None:
+                per_key = self._slots[key] = {}
+            per_key[txn_id] = seq
+            recorded.append(key)
+            self._index_key(key)
+
+    def slot_writers(self, key):
+        """Live ``{writer_id: seq}`` of unresolved pre-assigned slots (or None)."""
+        return self._slots.get(key)
+
+    def unresolved_slots_of(self, txn_id):
+        """Declared keys of ``txn_id`` whose slots are still unresolved."""
+        keys = self._slots_by_txn.get(txn_id)
+        if not keys:
+            return []
+        slots = self._slots
+        return [key for key in keys if txn_id in slots.get(key, ())]
+
+    def retract_slots(self, txn_id):
+        """Drop the remaining unresolved slots of a finished transaction."""
+        keys = self._slots_by_txn.pop(txn_id, None)
+        if not keys:
+            return 0
+        removed = 0
+        for key in keys:
+            per_key = self._slots.get(key)
+            if per_key is not None and per_key.pop(txn_id, None) is not None:
+                removed += 1
+                if not per_key:
+                    del self._slots[key]
+                    self._unindex_dead_key(key)
+        return removed
+
     # -- writing -------------------------------------------------------------
 
     def install(self, key, value, txn):
@@ -270,6 +329,12 @@ class MultiVersionStore:
             start_timestamp=txn.start_timestamp,
         )
         per_key[txn_id] = version
+        if self._slots:
+            # Installing the version resolves the writer's pre-assigned slot.
+            slot_map = self._slots.get(key)
+            if slot_map is not None and slot_map.pop(txn_id, None) is not None:
+                if not slot_map:
+                    del self._slots[key]
         writes = self._writes_by_txn.get(txn_id)
         if writes is None:
             writes = self._writes_by_txn[txn_id] = []
@@ -311,10 +376,16 @@ class MultiVersionStore:
             ts_list.append(ts)
             chain.by_writer[version.writer] = version
         self._last_commit_seq = seq
+        if self._slots_by_txn:
+            # Declared-but-unwritten keys (conditional writes) release their
+            # slots at commit so sequenced readers stop waiting.
+            self.retract_slots(txn.txn_id)
         return versions
 
     def abort_transaction(self, txn):
         """Discard every uncommitted version written by ``txn``."""
+        if self._slots_by_txn:
+            self.retract_slots(txn.txn_id)
         versions = self._writes_by_txn.pop(txn.txn_id, [])
         for version in versions:
             per_key = self._uncommitted.get(version.key)
@@ -413,5 +484,7 @@ class MultiVersionStore:
         self._uncommitted.clear()
         self._writes_by_txn.clear()
         self._table_index.clear()
+        self._slots.clear()
+        self._slots_by_txn.clear()
         self._commit_seq = count(1)
         self._last_commit_seq = 0

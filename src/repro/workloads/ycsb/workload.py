@@ -145,6 +145,13 @@ class YCSBWorkload(Workload):
     # -- registration -------------------------------------------------------------------
 
     def build_transaction_types(self):
+        # Every writer's key set — and the scan's range — is computable from
+        # the arguments alone, so the whole mix is declarable: TSO promises
+        # and deterministic batch sequencing can pre-assign version slots.
+        write_key = lambda args: (("usertable", args["key"]),)  # noqa: E731
+        scan_range = lambda args: (  # noqa: E731
+            ("usertable", args["start"], args["start"] + args["count"] - 1),
+        )
         profiles = {
             "read_record": TransactionProfile(
                 name="read_record", accesses=(("usertable", "r"),), read_only=True,
@@ -152,18 +159,22 @@ class YCSBWorkload(Workload):
             ),
             "update_record": TransactionProfile(
                 name="update_record", accesses=(("usertable", "w"),),
+                promise_keys=write_key,
                 description="overwrite one field of a record",
             ),
             "insert_record": TransactionProfile(
                 name="insert_record", accesses=(("usertable", "w"),),
+                promise_keys=write_key,
                 description="insert a new record",
             ),
             "scan_records": TransactionProfile(
                 name="scan_records", accesses=(("usertable", "r"),), read_only=True,
+                scan_ranges=scan_range,
                 description="short range scan",
             ),
             "read_modify_write": TransactionProfile(
                 name="read_modify_write", accesses=(("usertable", "w"),),
+                promise_keys=write_key,
                 description="read a record and write it back",
             ),
         }

@@ -11,11 +11,13 @@ streaming isolation oracle.  Three layers:
   tree (marked ``slow``: the CI fast lane skips it, the full lane and the
   local tier-1 run keep it);
 * a pinned regression corpus of previously-found counterexample shapes
-  (scan skew, write skew, G1c, the queue enqueue/dequeue race), replayed
-  against every tree on every run.
+  (scan skew, write skew, G1c, the queue enqueue/dequeue race, the
+  RP-over-RP cross-group stale read), replayed against every tree on every
+  run.
 
-Cross-group RP-over-RP trees are excluded (the known stale-read corner
-documented in ROADMAP); everything else in the registry's vocabulary is in.
+Everything in the registry's vocabulary is in: cross-group RP-over-RP trees
+(whose stale-read corner is now closed — see ``TestRpOverRpStaleRead`` for
+the pinned multi-step adversary) and the deterministic batch trees included.
 """
 
 import random
@@ -37,6 +39,16 @@ from tests.conftest import build_engine, run_transactions
 TXN_TYPES = ("alpha", "beta", "reader")
 KEYSPACE = 8          # loaded keys 0..7
 INSERT_SPACE = 16     # writes may create keys up to 15 (phantom sources)
+
+
+def _declared_writes(args):
+    """Write keys of a scripted transaction, computed from the args alone."""
+    return [("rows", op[1]) for op in args["ops"] if op[0] in ("w", "u")]
+
+
+def _declared_ranges(args):
+    """Scan ranges of a scripted transaction, computed from the args alone."""
+    return [("rows", op[1], op[2]) for op in args["ops"] if op[0] == "scan"]
 
 
 class ConformanceWorkload(Workload):
@@ -81,7 +93,16 @@ class ConformanceWorkload(Workload):
                 name=name,
                 procedure=self._run_ops,
                 profile=TransactionProfile(
-                    name=name, accesses=accesses, read_only=read_only
+                    name=name,
+                    accesses=accesses,
+                    read_only=read_only,
+                    # The scripted ops ride in the args, so the write set and
+                    # the scanned ranges are declarable — which is what lets
+                    # the deterministic batch trees join the conformance
+                    # sweep (their sequencer pre-assigns version slots from
+                    # these declarations).
+                    promise_keys=None if read_only else _declared_writes,
+                    scan_ranges=_declared_ranges,
                 ),
             )
         return types
@@ -106,8 +127,8 @@ def random_op(rng, read_only=False):
     return ("scan", lo, lo + rng.randint(0, 5))
 
 
-#: Every CC tree shape the conformance suite holds to the oracle.
-#: (RP-over-RP cross-group trees are excluded: documented stale-read corner.)
+#: Every CC tree shape the conformance suite holds to the oracle — the
+#: cross-group RP-over-RP trees and the deterministic batch trees included.
 CONFORMANCE_TREES = {
     "mono-2pl": lambda: monolithic("2pl", TXN_TYPES, name="conf-2pl"),
     "mono-ssi": lambda: monolithic("ssi", TXN_TYPES, name="conf-ssi"),
@@ -133,6 +154,27 @@ CONFORMANCE_TREES = {
     "2pl/(2pl,tso)": lambda: Configuration(
         node("2pl", leaf("2pl", "alpha", "reader"), leaf("tso", "beta")),
         name="conf-2pl-2pl-tso",
+    ),
+    "rp/(rp,rp)": lambda: Configuration(
+        node("rp", leaf("rp", "alpha"), leaf("rp", "beta", "reader")),
+        name="conf-rp-rp-rp",
+    ),
+    "rp/(rp,2pl)": lambda: Configuration(
+        node("rp", leaf("rp", "alpha", "reader"), leaf("2pl", "beta")),
+        name="conf-rp-rp-2pl",
+    ),
+    "mono-batch": lambda: monolithic("batch", TXN_TYPES, name="conf-batch"),
+    "ssi/(none,batch)": lambda: Configuration(
+        node("ssi", leaf("none", "reader"), leaf("batch", "alpha", "beta")),
+        name="conf-ssi-none-batch",
+    ),
+    "2pl/(batch,2pl)": lambda: Configuration(
+        node("2pl", leaf("batch", "alpha"), leaf("2pl", "beta", "reader")),
+        name="conf-2pl-batch-2pl",
+    ),
+    "ssi/(batch,batch)": lambda: Configuration(
+        node("ssi", leaf("batch", "alpha", "reader"), leaf("batch", "beta")),
+        name="conf-ssi-batch-batch",
     ),
 }
 
@@ -235,3 +277,132 @@ class TestRegressionCorpus:
         ]
         report, _committed, _recorder = run_conformance(tree_name, requests)
         assert report.ok, f"{tree_name}/{case}: {report.describe()}"
+
+
+# ---------------------------------------------------------------------------
+# Pinned adversary: the cross-group RP-over-RP stale read
+# ---------------------------------------------------------------------------
+
+
+class TwoStepWorkload(Workload):
+    """Two tables => two pipeline steps, so RP step-commits mid-transaction.
+
+    The single-table :class:`ConformanceWorkload` collapses every RP group
+    to one pipeline step, which is why random fuzzing never reached the
+    RP-over-RP corner: the outer node's step-commit bookkeeping only fills
+    when a transaction advances past a step while still active.  This
+    workload's profiles access ``hot`` then ``tail``, giving every RP group
+    two steps, and a ``think`` op controls the interleaving.
+    """
+
+    name = "two-step"
+
+    def build_catalog(self):
+        hot = Table(TableSchema("hot", ("id",), ("v",)))
+        tail = Table(TableSchema("tail", ("id",), ("v",)))
+        for pk in range(4):
+            hot.insert((pk,), {"v": pk})
+            tail.insert((pk,), {"v": pk})
+        return Catalog([hot, tail])
+
+    def _run_ops(self, ctx, ops):
+        total = 0
+        for op in ops:
+            kind = op[0]
+            if kind == "r":
+                row = yield from ctx.read(op[1], op[2])
+                total += (row or {}).get("v", 0)
+            elif kind == "w":
+                yield from ctx.write(op[1], op[2], row={"v": op[3]})
+            elif kind == "think":
+                yield from ctx.think(op[1])
+            else:  # pragma: no cover - script bug guard
+                raise ValueError(f"unknown op {op!r}")
+        return total
+
+    def build_transaction_types(self):
+        types = {}
+        for name in ("alpha", "beta"):
+            types[name] = TransactionType(
+                name=name,
+                procedure=self._run_ops,
+                profile=TransactionProfile(
+                    name=name,
+                    accesses=(
+                        ("hot", "r"), ("hot", "w"), ("tail", "r"), ("tail", "w")
+                    ),
+                ),
+            )
+        return types
+
+    def generate_args(self, rng, txn_type):
+        return {"ops": []}
+
+
+class TestRpOverRpStaleRead:
+    """The closed cross-group RP-over-RP stale-read corner, pinned.
+
+    History: T1 (group A) writes hot.0 and advances into the tail step,
+    step-committing the write at both RP nodes.  T2 (group B) then writes
+    hot.0 *and* hot.1 through the outer pipeline — its hot.0 supersedes
+    T1's at the outer node — and advances.  T3 (group A) reads hot.1
+    (T2's version: ordered after T2) and then hot.0: before the fix, the
+    inner leaf proposed T1's step-committed hot.0 and the outer amend
+    trusted the member candidate, so T3 observed {hot.1 from T2, hot.0
+    from T1} — a cycle, since T2 is ordered after T1 on hot.0.
+    """
+
+    TREE = staticmethod(
+        lambda: Configuration(
+            node("rp", leaf("rp", "alpha"), leaf("rp", "beta")),
+            name="rp-over-rp-adversary",
+        )
+    )
+
+    REQUESTS = [
+        ("alpha", {"ops": [("w", "hot", 0, 101), ("r", "tail", 0), ("think", 0.5)]}),
+        ("beta", {"ops": [
+            ("think", 0.1),
+            ("w", "hot", 0, 202),
+            ("w", "hot", 1, 202),
+            ("r", "tail", 1),
+            ("think", 0.3),
+        ]}),
+        ("alpha", {"ops": [("think", 0.2), ("r", "hot", 1), ("r", "hot", 0)]}),
+    ]
+
+    def test_pinned_adversary_stays_serializable(self):
+        workload = TwoStepWorkload()
+        env = Environment()
+        engine = build_engine(
+            env,
+            workload,
+            self.TREE(),
+            options=EngineOptions(
+                charge_costs=False, lock_timeout=2.0, commit_wait_timeout=4.0
+            ),
+        )
+        recorder = HistoryRecorder(level="serializable")
+        engine.history_recorder = recorder
+        outcomes, _processes = run_transactions(env, engine, self.REQUESTS)
+        report = check_recorder(recorder, level="serializable")
+        assert report.ok, report.describe()
+        # The reader must not mix pipeline generations: whichever writer its
+        # hot.1 read observed, its hot.0 read must not come from an *earlier*
+        # one (the stale proposal the outer amend used to trust).
+        readers = [
+            txn
+            for txn in outcomes
+            if not isinstance(txn, TransactionAborted)
+            and txn.txn_type == "alpha"
+            and any(r.key == ("hot", 1) for r in txn.reads)
+        ]
+        assert readers, "the adversarial reader must commit"
+        for txn in readers:
+            by_key = {r.key: r.version for r in txn.reads}
+            hot0, hot1 = by_key.get(("hot", 0)), by_key.get(("hot", 1))
+            if hot0 is not None and hot1 is not None and hot1.writer != hot0.writer:
+                assert hot0.writer > hot1.writer, (
+                    f"stale cross-group read: hot.0 from txn {hot0.writer} "
+                    f"but hot.1 from the later txn {hot1.writer}"
+                )

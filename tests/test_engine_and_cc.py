@@ -464,3 +464,171 @@ class TestReconfiguration:
         process = env.process(scenario())
         txn = env.run(until=process)
         assert txn.committed
+
+
+def batch_micro_workload():
+    """Tiny declarable workload for deterministic-batch unit tests.
+
+    ``declared_write`` promises exactly the key it writes; ``rogue_write``
+    under-declares (promises one key, writes two), which the batch mechanism
+    must catch at execution time; ``plain_read`` is read-only.
+    """
+    from repro.analysis.profiles import TransactionProfile, TransactionType
+    from repro.storage.tables import Catalog, Table, TableSchema
+    from repro.workloads.base import Workload
+
+    class BatchMicro(Workload):
+        name = "batch-micro"
+
+        def build_catalog(self):
+            table = Table(TableSchema(name="rows", key_columns=("id",)))
+            for pk in range(8):
+                table.insert((pk,), {"value": 0})
+            return Catalog([table])
+
+        def _declared(self, ctx, pk):
+            yield from ctx.update(
+                "rows", pk, updates={"value": lambda v: (v or 0) + 1}
+            )
+            return True
+
+        def _rogue(self, ctx, pk):
+            yield from ctx.update(
+                "rows", pk, updates={"value": lambda v: (v or 0) + 1}
+            )
+            # Not in the declared write set: must abort, never install.
+            yield from ctx.update(
+                "rows", pk + 1, updates={"value": lambda v: (v or 0) + 1}
+            )
+            return True
+
+        def _read(self, ctx, pk):
+            row = yield from ctx.read("rows", pk)
+            return (row or {}).get("value", 0)
+
+        def build_transaction_types(self):
+            promised = lambda args: (("rows", args["pk"]),)  # noqa: E731
+            return {
+                "declared_write": TransactionType(
+                    name="declared_write",
+                    procedure=self._declared,
+                    profile=TransactionProfile(
+                        name="declared_write",
+                        accesses=(("rows", "w"),),
+                        promise_keys=promised,
+                    ),
+                ),
+                "rogue_write": TransactionType(
+                    name="rogue_write",
+                    procedure=self._rogue,
+                    profile=TransactionProfile(
+                        name="rogue_write",
+                        accesses=(("rows", "w"), ("rows", "w")),
+                        promise_keys=promised,
+                    ),
+                ),
+                "plain_read": TransactionType(
+                    name="plain_read",
+                    procedure=self._read,
+                    profile=TransactionProfile(
+                        name="plain_read",
+                        accesses=(("rows", "r"),),
+                        read_only=True,
+                    ),
+                ),
+            }
+
+        def generate_args(self, rng, txn_type):
+            return {"pk": rng.randrange(4)}
+
+    return BatchMicro()
+
+
+class TestDeterministicBatch:
+    """Deterministic batch execution: config validation and runtime guards."""
+
+    ALL_TYPES = ("declared_write", "rogue_write", "plain_read")
+
+    def test_registered(self):
+        assert "batch" in CC_REGISTRY
+        assert CC_REGISTRY["batch"].supports_partitioning is False
+
+    def test_internal_batch_node_rejected(self, env):
+        config = Configuration(
+            node(
+                "batch",
+                leaf("2pl", "declared_write", "rogue_write"),
+                leaf("2pl", "plain_read"),
+            )
+        )
+        with pytest.raises(ConfigurationError, match="leaf"):
+            build_engine(env, batch_micro_workload(), config)
+
+    @pytest.mark.parametrize("ancestor", ["rp", "tso"])
+    def test_ordering_ancestor_rejected(self, env, ancestor):
+        config = Configuration(
+            node(
+                ancestor,
+                leaf("batch", "declared_write", "rogue_write"),
+                leaf("none", "plain_read"),
+            )
+        )
+        with pytest.raises(ConfigurationError, match="batch group cannot run under"):
+            build_engine(env, batch_micro_workload(), config)
+
+    def test_undeclarable_write_set_rejected(self, env, noconflict_workload):
+        # NoConflictWorkload's writer has no promise_keys: the sequencer
+        # cannot pre-declare its slots, so the tree must not build.
+        with pytest.raises(ConfigurationError, match="promise_keys"):
+            build_engine(
+                env, noconflict_workload, monolithic("batch", ("write_only",))
+            )
+
+    def test_partition_by_instance_rejected(self, env):
+        config = Configuration(leaf("batch", *self.ALL_TYPES, instance_key="pk"))
+        with pytest.raises(ConfigurationError, match="partition-by-instance"):
+            build_engine(env, batch_micro_workload(), config)
+
+    def test_bad_params_rejected(self, env):
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            build_engine(
+                env,
+                batch_micro_workload(),
+                monolithic("batch", self.ALL_TYPES, params={"batch_size": 0}),
+            )
+
+    def test_undeclared_write_aborts_cleanly(self, env):
+        workload = batch_micro_workload()
+        engine = build_engine(
+            env,
+            workload,
+            monolithic("batch", self.ALL_TYPES, params={"batch_window": 0.001}),
+        )
+        outcomes, _ = run_transactions(env, engine, [("rogue_write", {"pk": 2})])
+        aborted = outcomes[0]
+        assert isinstance(aborted, TransactionAborted)
+        assert aborted.reason == "batch-undeclared-write"
+        # The declared first write never became visible.
+        assert engine.store.latest_committed(("rows", 2)).value["value"] == 0
+        assert engine.store.uncommitted_versions(("rows", 2)) == []
+        assert check_engine(engine).ok
+
+    def test_contended_writes_all_commit_in_one_order(self, env):
+        workload = batch_micro_workload()
+        engine = build_engine(
+            env,
+            workload,
+            monolithic("batch", self.ALL_TYPES, params={"batch_size": 4}),
+        )
+        count = 12
+        requests = [("declared_write", {"pk": 0}) for _ in range(count)]
+        outcomes, _ = run_transactions(env, engine, requests)
+        assert all(getattr(txn, "committed", False) for txn in outcomes)
+        assert engine.stats.commits == count
+        assert engine.stats.aborts == 0
+        assert engine.store.latest_committed(("rows", 0)).value["value"] == count
+        cc = engine.root.cc
+        assert cc.batches_sealed >= count // 4
+        # Every member of a batch conflicts with all its predecessors here.
+        assert cc.graph_edges > 0
+        assert check_engine(engine).ok

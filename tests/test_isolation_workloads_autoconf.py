@@ -476,7 +476,7 @@ class TestHarness:
     def test_registry_covers_all_workloads(self):
         assert set(configs.WORKLOAD_CONFIGURATIONS) == {
             "tpcc", "tpcc-scan", "seats", "micro", "smallbank",
-            "ycsb", "ycsb-zipf", "queue",
+            "ycsb", "ycsb-zipf", "ycsb-scan", "queue",
         }
         for configurations in configs.WORKLOAD_CONFIGURATIONS.values():
             assert len(configurations) >= 3
@@ -561,7 +561,13 @@ class TestCheckedWorkloadRuns:
         "ycsb-zipf": (
             lambda: YCSBWorkload(records=400, profile="a",
                                  distribution="zipfian", zipf_theta=0.9),
-            ("ssi", "2layer", "3layer"),
+            ("ssi", "2layer", "3layer", "batch", "batch-2layer", "batch-3layer"),
+        ),
+        "ycsb-scan": (
+            # Scan-heavy profile E: the deterministic batch cells must hold
+            # their declared-range phantom story against 95% range scans.
+            lambda: YCSBWorkload(records=200, profile="e"),
+            ("ssi", "batch", "batch-2layer"),
         ),
         "queue": (
             lambda: QueueWorkload(initial_messages=4, window=6),
@@ -867,10 +873,7 @@ class TestHypothesisProperties:
         from tests.conftest import build_engine, run_transactions
 
         cc_choices = ["2pl", "ssi", "rp", "tso"]
-        # Cross-group RP is excluded here: RP-over-RP trees have a known rare
-        # stale-read corner case under concurrent read-modify-writes of the
-        # same hot row (documented in DESIGN.md, "Known limitations").
-        cross = data.draw(st.sampled_from(["2pl", "ssi"]))
+        cross = data.draw(st.sampled_from(["2pl", "ssi", "rp"]))
         leaf_a = data.draw(st.sampled_from(cc_choices))
         leaf_b = data.draw(st.sampled_from(cc_choices))
         config = Configuration(
